@@ -1,0 +1,36 @@
+"""Ablation: sorted-array vs B+-tree posting lists.
+
+Both backends implement the same seek interface; the array is cache-friendly
+(binary search over a packed list), the B+-tree supports cheaper incremental
+maintenance.  Query-time behaviour should be in the same ballpark.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.data.autos import autos_ordering
+from repro.index.inverted import InvertedIndex
+
+BACKENDS = ["array", "bptree"]
+ALGORITHMS = ["UOnePass", "UProbe"]
+
+_CACHE = {}
+
+
+def _index(relation, backend):
+    if backend not in _CACHE:
+        _CACHE[backend] = InvertedIndex.build(
+            relation, autos_ordering(), backend=backend
+        )
+    return _CACHE[backend]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_backend(benchmark, autos_relation, unscored_workload, algorithm, backend):
+    index = _index(autos_relation, backend)
+    benchmark.group = f"abl-backend {algorithm}"
+    benchmark.pedantic(
+        run_workload, args=(index, unscored_workload, 10, algorithm),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,45 @@
+"""Ablation: the introduction's retrieve-c*k-and-rerank baseline.
+
+Benchmarks the window-and-MMR method across window factors and asserts the
+paper's qualitative claim: small windows leave water-fill violations that
+the exact algorithms never produce.
+"""
+
+import pytest
+
+from repro.core.baselines import collect_all
+from repro.core.mmr import retrieve_ck_diverse
+from repro.core.probing import probe_unscored
+from repro.core.similarity import balance_violations
+from repro.index.merged import MergedList
+
+C_VALUES = [1, 2, 10]
+
+
+@pytest.mark.parametrize("c", C_VALUES)
+def test_cxk_baseline(benchmark, autos_index, unscored_workload, c):
+    benchmark.group = "abl-cxk"
+
+    def run():
+        total_violations = 0
+        for query in unscored_workload:
+            selected = retrieve_ck_diverse(MergedList(query, autos_index), 10, c)
+            full = collect_all(MergedList(query, autos_index))
+            if full:
+                total_violations += balance_violations(selected, full)
+        return total_violations
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_exact_probe_has_zero_violations(benchmark, autos_index, unscored_workload):
+    benchmark.group = "abl-cxk"
+
+    def run():
+        for query in unscored_workload:
+            selected = probe_unscored(MergedList(query, autos_index), 10)
+            full = collect_all(MergedList(query, autos_index))
+            assert balance_violations(selected, full) == 0
+        return 0
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,33 @@
+"""Ablation: measured probe counts vs the Theorem 2 bound.
+
+Benchmarks UProbe across k and asserts, on every workload query, that the
+number of ``next()`` calls stays within 2k — the paper's headline efficiency
+guarantee for the probing algorithm.
+"""
+
+import pytest
+
+from repro.core.probing import probe_unscored
+from repro.index.merged import MergedList
+
+K_GRID = [1, 10, 50, 100]
+
+
+@pytest.mark.parametrize("k", K_GRID)
+def test_probe_counts(benchmark, autos_index, unscored_workload, k):
+    benchmark.group = f"abl-probes k={k}"
+
+    def run():
+        total = 0
+        for query in unscored_workload:
+            merged = MergedList(query, autos_index)
+            probe_unscored(merged, k)
+            assert merged.next_calls <= 2 * k, (
+                f"Theorem 2 violated: {merged.next_calls} > {2 * k} for "
+                f"{query.describe()}"
+            )
+            total += merged.next_calls
+        return total
+
+    total = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert total <= 2 * k * len(unscored_workload)

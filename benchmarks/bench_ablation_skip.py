@@ -1,0 +1,22 @@
+"""Ablation: the one-pass skip-ahead rule on vs off.
+
+With skipping disabled the scan still terminates early when nothing can
+improve the kept set, but steps item by item instead of jumping branches —
+quantifying DESIGN.md's "key savings" claim for Algorithm 1.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+
+K_GRID = [1, 10, 50]
+
+
+@pytest.mark.parametrize("k", K_GRID)
+@pytest.mark.parametrize("variant", ["UOnePass", "UOnePassNoSkip"])
+def test_skip_ablation(benchmark, autos_index, unscored_workload, variant, k):
+    benchmark.group = f"abl-skip k={k}"
+    benchmark.pedantic(
+        run_workload, args=(autos_index, unscored_workload, k, variant),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,45 @@
+"""Figure 5: response time vs data size (unscored).
+
+Paper shape: UNaive grows with the number of listings while UOnePass and
+UProbe stay flat, tracking UBasic.  Each benchmark row is (algorithm, rows);
+compare rows of the same algorithm across sizes to read the trend.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.data.autos import AutosSpec, autos_ordering, generate_autos
+from repro.data.workload import WorkloadGenerator, WorkloadSpec
+from repro.index.inverted import InvertedIndex
+
+from conftest import BENCH_QUERIES, BENCH_ROWS
+
+SIZES = [max(500, BENCH_ROWS // 4), max(1000, BENCH_ROWS // 2), BENCH_ROWS]
+ALGORITHMS = ["UNaive", "UBasic", "UOnePass", "UProbe"]
+
+_CACHE = {}
+
+
+def _setup(rows):
+    if rows not in _CACHE:
+        relation = generate_autos(AutosSpec(rows=rows, seed=42))
+        index = InvertedIndex.build(relation, autos_ordering())
+        workload = WorkloadGenerator(
+            relation,
+            WorkloadSpec(
+                queries=BENCH_QUERIES, predicates=1, selectivity=0.5, seed=1
+            ),
+        ).materialise()
+        _CACHE[rows] = (index, workload)
+    return _CACHE[rows]
+
+
+@pytest.mark.parametrize("rows", SIZES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5(benchmark, algorithm, rows):
+    index, workload = _setup(rows)
+    benchmark.group = f"fig5 rows={rows}"
+    timing = benchmark.pedantic(
+        run_workload, args=(index, workload, 10, algorithm), rounds=2, iterations=1
+    )
+    assert timing.results_returned >= 0

@@ -1,0 +1,38 @@
+"""Figure 6: response time vs k (unscored).
+
+Paper shape: all algorithms beat UNaive (and MultQ, orders of magnitude
+slower); diversity overhead over the non-diverse UBasic stays negligible
+even at k = 100.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+
+K_GRID = [1, 10, 50, 100]
+ALGORITHMS = ["UNaive", "UBasic", "UOnePass", "UProbe"]
+
+
+@pytest.mark.parametrize("k", K_GRID)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig6(benchmark, autos_index, unscored_workload, algorithm, k):
+    benchmark.group = f"fig6 k={k}"
+    benchmark.pedantic(
+        run_workload,
+        args=(autos_index, unscored_workload, k, algorithm),
+        rounds=2,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("k", [10])
+def test_fig6_multq(benchmark, autos_index, unscored_workload, k):
+    """MultQ at one point only: it is the paper's orders-of-magnitude loser
+    and would dominate the suite's runtime across the grid."""
+    benchmark.group = f"fig6 k={k}"
+    benchmark.pedantic(
+        run_workload,
+        args=(autos_index, unscored_workload[: max(1, len(unscored_workload) // 2)], k, "MultQ"),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,41 @@
+"""Figure 7: response time vs query selectivity (unscored).
+
+Paper shape: UNaive degrades sharply as selectivity rises (it materialises
+every match); UOnePass and UProbe stay stable.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.data.workload import WorkloadGenerator, WorkloadSpec
+
+from conftest import BENCH_QUERIES
+
+BUCKETS = [0.1, 0.5, 0.9]
+ALGORITHMS = ["UNaive", "UBasic", "UOnePass", "UProbe"]
+
+_CACHE = {}
+
+
+def _workload(relation, bucket):
+    if bucket not in _CACHE:
+        _CACHE[bucket] = WorkloadGenerator(
+            relation,
+            WorkloadSpec(
+                queries=BENCH_QUERIES, predicates=1, selectivity=bucket, seed=3
+            ),
+        ).materialise()
+    return _CACHE[bucket]
+
+
+@pytest.mark.parametrize("bucket", BUCKETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig7(benchmark, autos_relation, autos_index, algorithm, bucket):
+    workload = _workload(autos_relation, bucket)
+    benchmark.group = f"fig7 selectivity~{bucket}"
+    benchmark.pedantic(
+        run_workload,
+        args=(autos_index, workload, 10, algorithm),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,24 @@
+"""Figure 8: response time vs k (scored, weighted disjunctive queries).
+
+Paper shape: SOnePass and SProbe grow roughly linearly with k but beat
+SNaive throughout; SProbe comes close to SBasic (plain WAND).
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+
+K_GRID = [1, 10, 50, 100]
+ALGORITHMS = ["SNaive", "SBasic", "SOnePass", "SProbe"]
+
+
+@pytest.mark.parametrize("k", K_GRID)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig8(benchmark, autos_index, scored_workload, algorithm, k):
+    benchmark.group = f"fig8 k={k}"
+    benchmark.pedantic(
+        run_workload,
+        args=(autos_index, scored_workload, k, algorithm),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,34 @@
+"""The Experiments Summary table: every algorithm on the default workload.
+
+Paper: "MultQ, UNaive, SNaive are orders of magnitude slower than the other
+approaches. ... UProbe matches the performance of UBasic and SProbe comes
+very close to the performance of SBasic."
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+
+UNSCORED = ["MultQ", "UNaive", "UBasic", "UOnePass", "UProbe"]
+SCORED = ["SNaive", "SBasic", "SOnePass", "SProbe"]
+
+
+@pytest.mark.parametrize("algorithm", UNSCORED)
+def test_summary_unscored(benchmark, autos_index, unscored_workload, algorithm):
+    benchmark.group = "summary (unscored)"
+    workload = unscored_workload
+    if algorithm == "MultQ":
+        workload = workload[: max(1, len(workload) // 2)]
+    benchmark.pedantic(
+        run_workload, args=(autos_index, workload, 10, algorithm),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("algorithm", SCORED)
+def test_summary_scored(benchmark, autos_index, scored_workload, algorithm):
+    benchmark.group = "summary (scored)"
+    benchmark.pedantic(
+        run_workload, args=(autos_index, scored_workload, 10, algorithm),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,55 @@
+"""Shared fixtures for the figure benchmarks.
+
+Scales are laptop-friendly by default; export ``REPRO_BENCH_ROWS`` /
+``REPRO_BENCH_QUERIES`` to approach the paper's setup (Fig. 4: 10K-100K
+listings, 5000 queries).  Each benchmark measures one full workload run of
+one algorithm, so the pytest-benchmark comparison table reproduces a
+figure's series directly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import env_int
+from repro.data.autos import AutosSpec, autos_ordering, generate_autos
+from repro.data.workload import WorkloadGenerator, WorkloadSpec
+from repro.index.inverted import InvertedIndex
+
+BENCH_ROWS = env_int("REPRO_BENCH_ROWS", 5000)
+BENCH_QUERIES = env_int("REPRO_BENCH_QUERIES", 10)
+
+
+@pytest.fixture(scope="session")
+def autos_relation():
+    return generate_autos(AutosSpec(rows=BENCH_ROWS, seed=42))
+
+
+@pytest.fixture(scope="session")
+def autos_index(autos_relation):
+    return InvertedIndex.build(autos_relation, autos_ordering())
+
+
+@pytest.fixture(scope="session")
+def unscored_workload(autos_relation):
+    return WorkloadGenerator(
+        autos_relation,
+        WorkloadSpec(queries=BENCH_QUERIES, predicates=2, selectivity=0.5, seed=1),
+    ).materialise()
+
+
+@pytest.fixture(scope="session")
+def scored_workload(autos_relation):
+    return WorkloadGenerator(
+        autos_relation,
+        WorkloadSpec(
+            queries=BENCH_QUERIES,
+            predicates=3,
+            selectivity=0.3,
+            disjunctive=True,
+            weighted=True,
+            seed=1,
+        ),
+    ).materialise()

@@ -1,0 +1,111 @@
+"""repro — a reproduction of "Efficient Computation of Diverse Query Results"
+(Vee, Srivastava, Shanmugasundaram, Bhat, Amer-Yahia; ICDE 2008).
+
+Diverse top-k query answering over structured listings: given a relation, a
+domain-expert *diversity ordering* of its attributes and a (possibly scored)
+selection query, return k answers that are maximally diverse — e.g. five
+different Honda models rather than five identical Civics.
+
+Public entry points::
+
+    from repro import (
+        Schema, Relation, DiversityOrdering, DiversityEngine, Query,
+        parse_query,
+    )
+
+    engine = DiversityEngine.from_relation(cars, ["Make", "Model", "Color"])
+    result = engine.search("Make = 'Honda'", k=5)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction of the paper's figures.
+"""
+
+from .core.dewey import DeweyId, LEFT, MIDDLE, RIGHT
+from .core.diversify import diverse_subset, scored_diverse_subset, waterfill
+from .core.engine import ALGORITHMS, DiversityEngine
+from .core.incremental import DiverseView
+from .core.mmr import mmr_select, retrieve_ck_diverse
+from .core.pagination import DiversePaginator
+from .core.onepass import one_pass_scored, one_pass_unscored
+from .core.ordering import DiversityOrdering
+from .core.probing import probe_scored, probe_unscored
+from .core.relaxation import RelaxedResult, relax_query, relaxed_search
+from .core.result import DiverseResult, ResultItem
+from .core.similarity import balance_violations, is_diverse, is_scored_diverse
+from .core.symmetric import SymmetricObjective, greedy_symmetric_select, symmetric_search
+from .core.trace import TracingMergedList
+from .core.weighted import WeightedDiversifier, weighted_waterfill
+from .index.bptree import BPlusTree
+from .index.inverted import InvertedIndex
+from .index.merged import MergedList
+from .index.snapshot import load_index, save_index
+from .index.wand import wand_topk
+from .query.estimate import estimate_cardinality, estimate_selectivity, order_for_leapfrog
+from .query.parser import parse_query
+from .query.predicates import KeywordPredicate, ScalarPredicate
+from .query.query import Query
+from .query.rewrite import normalise, to_query_string
+from .query.scoring import coarsen_weights, idf_weights, scale_weights
+from .storage.catalog import Catalog
+from .storage.relation import Relation
+from .storage.schema import Attribute, AttributeKind, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "Attribute",
+    "AttributeKind",
+    "BPlusTree",
+    "Catalog",
+    "DeweyId",
+    "DiverseResult",
+    "DiversityEngine",
+    "DiversityOrdering",
+    "InvertedIndex",
+    "KeywordPredicate",
+    "LEFT",
+    "MIDDLE",
+    "MergedList",
+    "Query",
+    "Relation",
+    "ResultItem",
+    "RIGHT",
+    "ScalarPredicate",
+    "Schema",
+    "DiversePaginator",
+    "DiverseView",
+    "RelaxedResult",
+    "SymmetricObjective",
+    "TracingMergedList",
+    "WeightedDiversifier",
+    "balance_violations",
+    "coarsen_weights",
+    "diverse_subset",
+    "estimate_cardinality",
+    "estimate_selectivity",
+    "greedy_symmetric_select",
+    "load_index",
+    "mmr_select",
+    "normalise",
+    "idf_weights",
+    "is_diverse",
+    "is_scored_diverse",
+    "one_pass_scored",
+    "order_for_leapfrog",
+    "one_pass_unscored",
+    "parse_query",
+    "probe_scored",
+    "relax_query",
+    "relaxed_search",
+    "retrieve_ck_diverse",
+    "save_index",
+    "scale_weights",
+    "symmetric_search",
+    "to_query_string",
+    "probe_unscored",
+    "scored_diverse_subset",
+    "wand_topk",
+    "waterfill",
+    "weighted_waterfill",
+]

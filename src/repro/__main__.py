@@ -1,0 +1,161 @@
+"""Command-line interface: build indexes, run diverse queries, explore.
+
+Examples::
+
+    # Build an index from a typed CSV (see repro.storage.csvio) and save it.
+    python -m repro build cars.csv --ordering Make,Model,Color,Year \
+        --out cars.idx
+
+    # One-shot diverse query against a saved index.
+    python -m repro query cars.idx "Make = 'Honda'" -k 5
+
+    # Scored search with a different algorithm.
+    python -m repro query cars.idx \
+        "Make = 'Honda' [2] OR Description CONTAINS 'low miles'" \
+        -k 5 --algorithm onepass --scored
+
+    # Interactive shell (reads one query per line).
+    python -m repro shell cars.idx
+
+    # No data handy? Explore the paper's Figure 1 example.
+    python -m repro demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .core.engine import ALGORITHMS, DiversityEngine
+from .data.paper_example import figure1_ordering, figure1_relation
+from .index.inverted import InvertedIndex
+from .index.snapshot import load_index, save_index
+from .core.ordering import DiversityOrdering
+from .query.parser import QueryParseError, parse_query
+from .storage.csvio import read_csv
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Diverse top-k query answering (ICDE 2008 reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="index a CSV and save a snapshot")
+    build.add_argument("csv", type=Path, help="typed CSV file (name:kind header)")
+    build.add_argument(
+        "--ordering",
+        required=True,
+        help="comma-separated diversity ordering, highest priority first",
+    )
+    build.add_argument("--out", type=Path, required=True, help="snapshot path")
+    build.add_argument(
+        "--backend", choices=["array", "bptree"], default="array"
+    )
+
+    query = commands.add_parser("query", help="run one diverse query")
+    query.add_argument("index", type=Path, help="snapshot from 'build'")
+    query.add_argument("text", help="query text, e.g. \"Make = 'Honda'\"")
+    _query_options(query)
+
+    shell = commands.add_parser("shell", help="interactive query shell")
+    shell.add_argument("index", type=Path, help="snapshot from 'build'")
+    _query_options(shell)
+
+    demo = commands.add_parser("demo", help="explore the paper's Figure 1 data")
+    _query_options(demo)
+    demo.add_argument("text", nargs="?", default="Make = 'Honda'")
+
+    args = parser.parse_args(argv)
+    if args.command == "build":
+        return _cmd_build(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "shell":
+        return _cmd_shell(args)
+    return _cmd_demo(args)
+
+
+def _query_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-k", type=int, default=10, help="results to return")
+    parser.add_argument(
+        "--algorithm", choices=list(ALGORITHMS), default="probe"
+    )
+    parser.add_argument("--scored", action="store_true", help="scored search")
+    parser.add_argument(
+        "--stats", action="store_true", help="print probe statistics"
+    )
+
+
+def _cmd_build(args) -> int:
+    started = time.perf_counter()
+    relation = read_csv(args.csv, name=args.csv.stem)
+    ordering = DiversityOrdering(
+        [name.strip() for name in args.ordering.split(",") if name.strip()]
+    )
+    index = InvertedIndex.build(relation, ordering, backend=args.backend)
+    save_index(index, args.out)
+    elapsed = time.perf_counter() - started
+    print(
+        f"indexed {len(relation)} rows "
+        f"({len(ordering)} diversity levels, backend={args.backend}) "
+        f"in {elapsed:.2f}s -> {args.out}"
+    )
+    return 0
+
+
+def _run_query(engine: DiversityEngine, args, text: str) -> int:
+    try:
+        parsed = parse_query(text)
+    except QueryParseError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    result = engine.search(
+        parsed, k=args.k, algorithm=args.algorithm, scored=args.scored
+    )
+    elapsed = (time.perf_counter() - started) * 1000
+    print(result.to_table())
+    print(
+        f"[{len(result)} results, {args.algorithm}"
+        f"{' scored' if args.scored else ''}, {elapsed:.2f} ms]"
+    )
+    if args.stats:
+        for key, value in sorted(result.stats.items()):
+            print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    engine = DiversityEngine(load_index(args.index))
+    return _run_query(engine, args, args.text)
+
+
+def _cmd_shell(args) -> int:
+    engine = DiversityEngine(load_index(args.index))
+    print(
+        f"repro shell — {engine.index!r}\n"
+        f"ordering: {engine.ordering!r}\n"
+        "enter a query per line (blank or 'exit' quits):"
+    )
+    for line in sys.stdin:
+        text = line.strip()
+        if not text or text.lower() in ("exit", "quit", r"\q"):
+            break
+        _run_query(engine, args, text)
+        print()
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    engine = DiversityEngine.from_relation(figure1_relation(), figure1_ordering())
+    print("Figure 1(a) Cars relation (15 rows), "
+          "ordering Make < Model < Color < Year < Description\n")
+    return _run_query(engine, args, args.text)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""ASCII charts for reproduced figures.
+
+The paper's figures are line plots of response time against a swept
+parameter.  With no plotting stack available offline, this renders the same
+curves as terminal charts: one glyph per algorithm, optional log-scale y
+axis (the paper's figures span orders of magnitude), series legend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from .figures import FigureResult
+
+#: Plot glyphs, assigned to series in order.
+GLYPHS = "ox+*#@%&"
+
+
+def render_ascii_chart(
+    result: FigureResult,
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = True,
+) -> str:
+    """Render one figure as an ASCII chart (values > 0 required for log)."""
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to draw")
+    series_names = list(result.series)
+    if not series_names or not result.x_values:
+        return f"== {result.figure}: {result.title} == (no data)"
+    points = [
+        (name, list(values)) for name, values in result.series.items()
+    ]
+    flat = [v for _, values in points for v in values]
+    positive = [v for v in flat if v > 0]
+    if log_y and not positive:
+        log_y = False
+    if log_y:
+        floor_value = min(positive) / 1.5
+        transform = lambda v: math.log10(max(v, floor_value))
+    else:
+        transform = lambda v: v
+    lo = min(transform(v) for v in flat)
+    hi = max(transform(v) for v in flat)
+    if hi == lo:
+        hi = lo + 1.0
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    columns = _spread(len(result.x_values), width)
+    for series_index, (name, values) in enumerate(points):
+        glyph = GLYPHS[series_index % len(GLYPHS)]
+        for point_index, value in enumerate(values):
+            column = columns[point_index]
+            fraction = (transform(value) - lo) / (hi - lo)
+            row = height - 1 - round(fraction * (height - 1))
+            if grid[row][column] == " ":
+                grid[row][column] = glyph
+            else:
+                grid[row][column] = "!"  # overlapping points
+    y_top = _format_value(hi, log_y)
+    y_bottom = _format_value(lo, log_y)
+    label_width = max(len(y_top), len(y_bottom))
+    lines = [f"== {result.figure}: {result.title} =="]
+    if log_y:
+        lines.append("   (log-scale y, seconds)")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_top.rjust(label_width)
+        elif row_index == height - 1:
+            label = y_bottom.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = [" "] * width
+    for point_index, x in enumerate(result.x_values):
+        text = str(x)
+        start = min(columns[point_index], width - len(text))
+        for offset, char in enumerate(text):
+            x_axis[start + offset] = char
+    lines.append(" " * label_width + "  " + "".join(x_axis))
+    lines.append(" " * label_width + f"  {result.x_label}")
+    legend = "  ".join(
+        f"{GLYPHS[i % len(GLYPHS)]}={name}" for i, name in enumerate(series_names)
+    )
+    lines.append(f"legend: {legend}  (!=overlap)")
+    return "\n".join(lines)
+
+
+def _spread(count: int, width: int) -> List[int]:
+    """Column positions for ``count`` points across ``width`` columns."""
+    if count == 1:
+        return [width // 2]
+    return [round(i * (width - 1) / (count - 1)) for i in range(count)]
+
+
+def _format_value(value: float, log_y: bool) -> str:
+    real = 10 ** value if log_y else value
+    if real >= 100:
+        return f"{real:.0f}"
+    if real >= 1:
+        return f"{real:.2f}"
+    return f"{real:.4f}"

@@ -1,0 +1,55 @@
+"""Rendering and persistence for reproduced figures."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from .figures import FigureResult
+
+
+def render_text(result: FigureResult) -> str:
+    """An aligned text table: one row per x value, one column per series."""
+    names = list(result.series)
+    header = [result.x_label] + names
+    rows = []
+    for i, x in enumerate(result.x_values):
+        row = [str(x)]
+        for name in names:
+            value = result.series[name][i]
+            row.append(f"{value:.4f}")
+        rows.append(row)
+    widths = [
+        max(len(header[c]), *(len(row[c]) for row in rows)) if rows else len(header[c])
+        for c in range(len(header))
+    ]
+    lines = [f"== {result.figure}: {result.title} =="]
+    if result.meta:
+        meta = ", ".join(f"{key}={value}" for key, value in sorted(result.meta.items()))
+        lines.append(f"   ({meta})")
+    lines.append("  ".join(header[c].ljust(widths[c]) for c in range(len(header))))
+    lines.append("  ".join("-" * widths[c] for c in range(len(header))))
+    for row in rows:
+        lines.append("  ".join(row[c].ljust(widths[c]) for c in range(len(header))))
+    return "\n".join(lines)
+
+
+def write_csv(result: FigureResult, target: Union[str, Path, TextIO]) -> None:
+    """Persist one figure's series as CSV (x column + one per algorithm)."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", newline="", encoding="utf-8") as handle:
+            write_csv(result, handle)
+        return
+    writer = csv.writer(target)
+    names = list(result.series)
+    writer.writerow([result.x_label] + names)
+    for i, x in enumerate(result.x_values):
+        writer.writerow([x] + [result.series[name][i] for name in names])
+
+
+def to_csv_string(result: FigureResult) -> str:
+    buffer = io.StringIO()
+    write_csv(result, buffer)
+    return buffer.getvalue()

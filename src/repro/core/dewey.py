@@ -1,0 +1,172 @@
+"""Dewey identifiers for diversity-ordered tuples.
+
+The paper (Section III-A) encodes each tuple as a Dewey identifier: the
+concatenation of per-attribute sibling numbers, ordered by the diversity
+ordering.  Tuple ``Honda.Civic.Blue.2007.'Low miles'`` becomes ``0.0.1.0.0``
+in Figure 2(b).  All tuples of a relation share the same Dewey *depth* (one
+component per attribute in the ordering).
+
+We represent a Dewey ID as a plain ``tuple`` of non-negative ``int``
+components.  Tuple comparison in Python is lexicographic, which for
+equal-length Dewey IDs is exactly the document order of the Dewey tree, so
+Dewey IDs can be used directly as sorted posting-list keys.
+
+The paper assumes "no dewey entry is greater than 9" purely for exposition;
+we instead use the sentinel :data:`MAX_COMPONENT` as the "all nines" value,
+so trees of any fan-out are supported.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+#: Type alias: a Dewey identifier is a fixed-depth tuple of ints.
+DeweyId = Tuple[int, ...]
+
+#: Sentinel standing in for the paper's "9" digit: no real sibling number
+#: ever reaches this value.
+MAX_COMPONENT = 2**60
+
+#: Probe directions (Section III-B / IV).  LEFT scans left-to-right (the
+#: ordinary direction), RIGHT scans right-to-left, and MIDDLE marks scored
+#: insertions that carry no frontier information (Section IV-B).
+LEFT = "LEFT"
+RIGHT = "RIGHT"
+MIDDLE = "MIDDLE"
+
+_DIRECTIONS = (LEFT, RIGHT)
+
+
+def toggle(direction: str) -> str:
+    """Return the opposite probing direction (LEFT <-> RIGHT)."""
+    if direction == LEFT:
+        return RIGHT
+    if direction == RIGHT:
+        return LEFT
+    raise ValueError(f"cannot toggle direction {direction!r}")
+
+
+def validate_direction(direction: str) -> None:
+    """Raise ``ValueError`` unless ``direction`` is LEFT or RIGHT."""
+    if direction not in _DIRECTIONS:
+        raise ValueError(f"expected LEFT or RIGHT, got {direction!r}")
+
+
+def make_dewey(components: Iterable[int]) -> DeweyId:
+    """Build a Dewey ID from integer components, validating them."""
+    dewey = tuple(int(c) for c in components)
+    for c in dewey:
+        if c < 0:
+            raise ValueError(f"negative Dewey component in {dewey}")
+        if c > MAX_COMPONENT:
+            raise ValueError(f"Dewey component {c} exceeds MAX_COMPONENT")
+    return dewey
+
+
+def zeros(depth: int) -> DeweyId:
+    """The smallest possible Dewey ID of the given depth (all zeros)."""
+    if depth <= 0:
+        raise ValueError("Dewey depth must be positive")
+    return (0,) * depth
+
+
+def maxes(depth: int) -> DeweyId:
+    """The largest possible Dewey ID of the given depth (the paper's 9.9...9)."""
+    if depth <= 0:
+        raise ValueError("Dewey depth must be positive")
+    return (MAX_COMPONENT,) * depth
+
+
+def next_id(dewey: DeweyId, level: int, direction: str = LEFT) -> "DeweyId | None":
+    """The paper's ``nextId(id, level, dir)`` operator (Section III-B).
+
+    ``level`` is 1-based: ``next_id(d, level, LEFT)`` increments the
+    ``level``-th entry of ``d`` (component index ``level - 1``) and zeroes
+    every later entry; RIGHT decrements it and sets every later entry to the
+    maximum.  Example from the paper::
+
+        >>> next_id((0, 3, 1, 0, 0), 2, LEFT)
+        (0, 4, 0, 0, 0)
+
+    The result need not correspond to a real tuple; it is a search boundary.
+    RIGHT on a zero component would go negative, which means "nothing to the
+    left inside this region"; we return ``None`` in that case so callers can
+    close the frontier.
+    """
+    validate_direction(direction)
+    if not 1 <= level <= len(dewey):
+        raise ValueError(f"level {level} out of range for depth {len(dewey)}")
+    index = level - 1
+    if direction == LEFT:
+        head = dewey[:index] + (dewey[index] + 1,)
+        return head + (0,) * (len(dewey) - level)
+    if dewey[index] == 0:
+        return None
+    head = dewey[:index] + (dewey[index] - 1,)
+    return head + (MAX_COMPONENT,) * (len(dewey) - level)
+
+
+def successor(dewey: DeweyId) -> DeweyId:
+    """The immediately-next Dewey ID in document order (the paper's ``id+1``)."""
+    return dewey[:-1] + (dewey[-1] + 1,)
+
+
+def predecessor(dewey: DeweyId) -> DeweyId:
+    """The immediately-previous Dewey ID, or ``None`` below all zeros."""
+    if dewey[-1] > 0:
+        return dewey[:-1] + (dewey[-1] - 1,)
+    # Borrow: all-zero suffix rolls over like next_id RIGHT.
+    for index in range(len(dewey) - 1, -1, -1):
+        if dewey[index] > 0:
+            head = dewey[:index] + (dewey[index] - 1,)
+            return head + (MAX_COMPONENT,) * (len(dewey) - index - 1)
+    return None
+
+
+def is_prefix(prefix: Sequence[int], dewey: DeweyId) -> bool:
+    """True iff ``prefix`` (a sequence of components) is a prefix of ``dewey``."""
+    if len(prefix) > len(dewey):
+        return False
+    return tuple(prefix) == dewey[: len(prefix)]
+
+
+def common_prefix_len(a: DeweyId, b: DeweyId) -> int:
+    """Length of the longest common prefix of two Dewey IDs."""
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return n
+
+
+def region_bounds(prefix: Sequence[int], depth: int) -> tuple[DeweyId, DeweyId]:
+    """Smallest and largest depth-``depth`` Dewey IDs under ``prefix``.
+
+    These are the conceptual ``edge`` initial values of the probing data
+    structure: e.g. the region of prefix ``(0,)`` at depth 5 is
+    ``(0,0,0,0,0) .. (0,MAX,MAX,MAX,MAX)``.
+    """
+    prefix = tuple(prefix)
+    if len(prefix) > depth:
+        raise ValueError("prefix longer than Dewey depth")
+    pad = depth - len(prefix)
+    return prefix + (0,) * pad, prefix + (MAX_COMPONENT,) * pad
+
+
+def in_region(dewey: DeweyId, prefix: Sequence[int]) -> bool:
+    """True iff ``dewey`` lies inside the subtree rooted at ``prefix``."""
+    return is_prefix(prefix, dewey)
+
+
+def format_dewey(dewey: DeweyId) -> str:
+    """Human-readable dotted form, with the MAX sentinel printed as ``*``."""
+    return ".".join("*" if c == MAX_COMPONENT else str(c) for c in dewey)
+
+
+def parse_dewey(text: str) -> DeweyId:
+    """Parse the dotted form produced by :func:`format_dewey`."""
+    parts = text.split(".")
+    return make_dewey(
+        MAX_COMPONENT if part == "*" else int(part) for part in parts
+    )

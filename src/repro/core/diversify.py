@@ -1,0 +1,163 @@
+"""Exact diverse-subset selection (the gold standard / post-processing step).
+
+Given the *full* result set, these functions compute a maximally diverse
+top-k directly from the definitions: top-down water-filling over the Dewey
+tree.  They serve two roles:
+
+* the selection step of the ``Naive`` baseline (evaluate everything, then
+  pick a diverse subset), and
+* the oracle against which the one-pass and probing algorithms are verified.
+
+Both functions are deterministic: ties are resolved toward smaller Dewey
+IDs, so tests can compare allocations (not just objectives) when convenient.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence
+
+from .dewey import DeweyId
+
+
+def waterfill(
+    budget: int,
+    capacities: Sequence[int],
+    lower_bounds: Sequence[int] | None = None,
+) -> List[int]:
+    """Balanced integer allocation minimising ``sum n_i^2``.
+
+    Distributes ``budget`` units over bins with the given capacities (and
+    optional forced lower bounds), always topping up a currently-smallest
+    bin.  Raises ``ValueError`` for infeasible budgets.
+    """
+    if lower_bounds is None:
+        lower_bounds = [0] * len(capacities)
+    if len(lower_bounds) != len(capacities):
+        raise ValueError("capacity/lower-bound vectors must align")
+    base = sum(lower_bounds)
+    room = sum(capacities)
+    if not base <= budget <= room:
+        raise ValueError(
+            f"infeasible budget {budget}: bounds give [{base}, {room}]"
+        )
+    counts = list(lower_bounds)
+    heap = [
+        (counts[i], i)
+        for i in range(len(capacities))
+        if counts[i] < capacities[i]
+    ]
+    heapq.heapify(heap)
+    remaining = budget - base
+    while remaining > 0:
+        count, i = heapq.heappop(heap)
+        counts[i] = count + 1
+        remaining -= 1
+        if counts[i] < capacities[i]:
+            heapq.heappush(heap, (counts[i], i))
+    return counts
+
+
+def diverse_subset(deweys: Iterable[DeweyId], k: int) -> List[DeweyId]:
+    """A maximally diverse ``min(k, n)``-subset of ``deweys`` (Definition 2)."""
+    ids = sorted(deweys)
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    budget = min(k, len(ids))
+    if budget == 0:
+        return []
+    return sorted(_select(ids, 0, budget))
+
+
+def _select(sorted_ids: List[DeweyId], level: int, budget: int) -> List[DeweyId]:
+    if budget >= len(sorted_ids):
+        return list(sorted_ids)
+    if level >= len(sorted_ids[0]):
+        return sorted_ids[:budget]
+    groups = _group(sorted_ids, level)
+    allocation = waterfill(budget, [len(group) for group in groups])
+    chosen: List[DeweyId] = []
+    for group, share in zip(groups, allocation):
+        if share:
+            chosen.extend(_select(group, level + 1, share))
+    return chosen
+
+
+def scored_diverse_subset(
+    scores: Dict[DeweyId, float], k: int
+) -> List[DeweyId]:
+    """A maximally diverse maximal-score ``min(k, n)``-subset (scored
+    Definition 2): all tuples above the k-th best score, plus a diverse
+    completion from the tied tier."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    budget = min(k, len(scores))
+    if budget == 0:
+        return []
+    ranked = sorted(scores.values(), reverse=True)
+    theta = ranked[budget - 1]
+    forced = sorted(d for d, s in scores.items() if s > theta)
+    tier = sorted(d for d, s in scores.items() if abs(s - theta) <= 1e-9)
+    return sorted(_select_scored(forced, tier, 0, budget))
+
+
+def _select_scored(
+    forced: List[DeweyId], tier: List[DeweyId], level: int, budget: int
+) -> List[DeweyId]:
+    if budget < len(forced):
+        raise ValueError("budget below forced count: scores are inconsistent")
+    if budget == len(forced):
+        return list(forced)
+    if budget >= len(forced) + len(tier):
+        return forced + tier
+    if level >= _depth(forced, tier):
+        return forced + tier[: budget - len(forced)]
+    forced_groups = _group_map(forced, level)
+    tier_groups = _group_map(tier, level)
+    keys = sorted(set(forced_groups) | set(tier_groups))
+    lower = [len(forced_groups.get(key, ())) for key in keys]
+    caps = [
+        len(forced_groups.get(key, ())) + len(tier_groups.get(key, ()))
+        for key in keys
+    ]
+    allocation = waterfill(budget, caps, lower)
+    chosen: List[DeweyId] = []
+    for key, share in zip(keys, allocation):
+        if share:
+            chosen.extend(
+                _select_scored(
+                    list(forced_groups.get(key, ())),
+                    list(tier_groups.get(key, ())),
+                    level + 1,
+                    share,
+                )
+            )
+    return chosen
+
+
+def _depth(*id_lists: List[DeweyId]) -> int:
+    for ids in id_lists:
+        if ids:
+            return len(ids[0])
+    return 0
+
+
+def _group(sorted_ids: List[DeweyId], level: int) -> List[List[DeweyId]]:
+    """Split component-``level``-sorted IDs into per-component runs."""
+    groups: List[List[DeweyId]] = []
+    current_key = object()
+    for dewey in sorted_ids:
+        key = dewey[level]
+        if key != current_key:
+            groups.append([])
+            current_key = key
+        groups[-1].append(dewey)
+    return groups
+
+
+def _group_map(ids: List[DeweyId], level: int) -> Dict[int, List[DeweyId]]:
+    groups: Dict[int, List[DeweyId]] = defaultdict(list)
+    for dewey in ids:
+        groups[dewey[level]].append(dewey)
+    return dict(groups)

@@ -1,0 +1,210 @@
+"""The public facade: a diversity-aware search engine over one relation.
+
+Typical use::
+
+    engine = DiversityEngine.from_relation(cars, ["Make", "Model", "Color"])
+    result = engine.search("Make = 'Honda'", k=5)            # UProbe
+    result = engine.search(query, k=5, algorithm="onepass")   # UOnePass
+    result = engine.search(query, k=5, scored=True)           # SProbe
+
+Algorithms (Section V names in parentheses):
+
+========== ==========================================================
+onepass     single scan with skipping (UOnePass / SOnePass)
+probe       bidirectional probing, <= ~2k index probes (UProbe / SProbe)
+naive       full evaluation + exact post-processing (UNaive / SNaive)
+basic       first-k / WAND top-k, no diversity (UBasic / SBasic)
+multq       query-rewriting baseline (MultQ)
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..index.inverted import InvertedIndex
+from ..index.merged import MergedList
+from ..query.parser import parse_query
+from ..query.query import Query
+from ..storage.relation import Relation
+from . import baselines
+from .dewey import DeweyId
+from .onepass import one_pass_scored, one_pass_unscored
+from .ordering import DiversityOrdering
+from .probing import probe_scored, probe_unscored
+from .result import DiverseResult, ResultItem
+
+ALGORITHMS = ("onepass", "probe", "naive", "basic", "multq")
+
+
+class DiversityEngine:
+    """Diverse top-k search over one indexed relation."""
+
+    def __init__(self, index: InvertedIndex):
+        self._index = index
+
+    @classmethod
+    def from_relation(
+        cls,
+        relation: Relation,
+        ordering: Union[DiversityOrdering, Sequence[str]],
+        backend: str = "array",
+    ) -> "DiversityEngine":
+        """Build the index (offline step) and wrap it in an engine."""
+        if not isinstance(ordering, DiversityOrdering):
+            ordering = DiversityOrdering(ordering)
+        return cls(InvertedIndex.build(relation, ordering, backend=backend))
+
+    @property
+    def index(self) -> InvertedIndex:
+        return self._index
+
+    @property
+    def relation(self) -> Relation:
+        return self._index.relation
+
+    @property
+    def ordering(self) -> DiversityOrdering:
+        return self._index.ordering
+
+    def compile(self, query: Union[Query, str]) -> MergedList:
+        """Parse (if needed) and compile a query to its merged list."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return MergedList(query, self._index)
+
+    def search(
+        self,
+        query: Union[Query, str],
+        k: int,
+        algorithm: str = "probe",
+        scored: bool = False,
+        optimize: bool = True,
+    ) -> DiverseResult:
+        """Diverse top-k search.
+
+        ``algorithm`` is one of :data:`ALGORITHMS`; ``scored=True`` switches
+        to the scored variants (tuples ranked by summed leaf weights, with
+        diversity among the lowest-score ties).  ``optimize`` runs the
+        logical normaliser (unscored only, to keep reported scores
+        bit-exact) and orders conjunctions rarest-list-first for the
+        leapfrog intersection.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+            )
+        if isinstance(query, str):
+            query = parse_query(query)
+        if optimize:
+            from ..query.estimate import order_for_leapfrog
+            from ..query.rewrite import normalise
+
+            if not scored:
+                query = normalise(query)
+            query = order_for_leapfrog(query, self._index)
+        merged = MergedList(query, self._index)
+        stats: Dict[str, int] = {}
+        scores: Optional[Dict[DeweyId, float]] = None
+        if algorithm == "multq":
+            if scored:
+                scores, issued = baselines.multq_scored(self._index, query, k)
+                deweys = sorted(scores)
+            else:
+                deweys, issued = baselines.multq_unscored(self._index, query, k)
+            stats["queries_issued"] = issued
+        elif scored:
+            if algorithm == "onepass":
+                scores = one_pass_scored(merged, k)
+            elif algorithm == "probe":
+                scores = probe_scored(merged, k)
+            elif algorithm == "naive":
+                scores = baselines.naive_scored(merged, k)
+            else:
+                scores = baselines.basic_scored(merged, k)
+            deweys = sorted(scores)
+        else:
+            if algorithm == "onepass":
+                deweys = one_pass_unscored(merged, k)
+            elif algorithm == "probe":
+                deweys = probe_unscored(merged, k)
+            elif algorithm == "naive":
+                deweys = baselines.naive_unscored(merged, k)
+            else:
+                deweys = baselines.basic_unscored(merged, k)
+        stats["next_calls"] = merged.next_calls
+        stats["scored_next_calls"] = merged.scored_next_calls
+        items = [self._materialise(dewey, scores) for dewey in deweys]
+        if scored:
+            items.sort(key=lambda item: (-(item.score or 0.0), item.dewey))
+        return DiverseResult(
+            items=items, k=k, algorithm=algorithm, scored=scored, stats=stats
+        )
+
+    def insert(self, row) -> int:
+        """Add a listing: insert into the relation and index it."""
+        rid = self._index.relation.insert(row)
+        self._index.insert(rid)
+        return rid
+
+    def delete(self, rid: int) -> bool:
+        """Remove a listing (sold/expired): tombstone the relation row and
+        unindex it, so queries stop returning it immediately.  Returns False
+        if the row was already deleted."""
+        if not self._index.relation.delete(rid):
+            return False
+        self._index.remove(rid)
+        return True
+
+    def search_weighted(
+        self,
+        query: Union[Query, str],
+        k: int,
+        value_weights: Dict,
+    ) -> DiverseResult:
+        """Weighted-diverse top-k (Section VII's first extension).
+
+        ``value_weights`` maps ``(attribute, value)`` to a positive weight;
+        heavier values earn proportionally more slots.  Implemented as exact
+        selection over the materialised result set (the extension is a
+        selection-level refinement; see `repro.core.weighted`).
+        """
+        from . import baselines
+        from .weighted import WeightedDiversifier
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        merged = MergedList(query, self._index)
+        matches = baselines.collect_all(merged)
+        diversifier = WeightedDiversifier(self._index.dewey, value_weights)
+        chosen = diversifier.select(matches, k)
+        items = [self._materialise(dewey, None) for dewey in chosen]
+        return DiverseResult(
+            items=items,
+            k=k,
+            algorithm="weighted",
+            scored=False,
+            stats={
+                "next_calls": merged.next_calls,
+                "scored_next_calls": merged.scored_next_calls,
+            },
+        )
+
+    def _materialise(
+        self, dewey: DeweyId, scores: Optional[Dict[DeweyId, float]]
+    ) -> ResultItem:
+        rid = self._index.dewey.rid_of(dewey)
+        values = self._index.relation.row_dict(rid)
+        score = scores.get(dewey) if scores is not None else None
+        return ResultItem(dewey=dewey, rid=rid, values=values, score=score)
+
+    def explain(self, query: Union[Query, str]) -> str:
+        """A short human-readable description of the compiled query."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        lines = [f"query: {query.describe()}"]
+        lines.append(f"ordering: {self.ordering!r}")
+        lines.append(f"index: {self._index!r}")
+        return "\n".join(lines)

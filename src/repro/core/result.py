@@ -1,0 +1,87 @@
+"""Result objects returned by the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .dewey import DeweyId
+
+
+@dataclass(frozen=True)
+class ResultItem:
+    """One answer tuple, fully materialised."""
+
+    dewey: DeweyId
+    rid: int
+    values: Dict[str, Any]
+    score: Optional[float] = None
+
+    def __getitem__(self, attribute: str) -> Any:
+        return self.values[attribute]
+
+
+@dataclass(frozen=True)
+class DiverseResult:
+    """A diverse top-k answer plus execution statistics.
+
+    ``stats`` includes at least ``next_calls`` and ``scored_next_calls``
+    (probe counts into the merged list); MultQ adds ``queries_issued``.
+    """
+
+    items: List[ResultItem]
+    k: int
+    algorithm: str
+    scored: bool
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __getitem__(self, index: int) -> ResultItem:
+        return self.items[index]
+
+    @property
+    def deweys(self) -> List[DeweyId]:
+        return [item.dewey for item in self.items]
+
+    @property
+    def rids(self) -> List[int]:
+        return [item.rid for item in self.items]
+
+    @property
+    def scores(self) -> List[Optional[float]]:
+        return [item.score for item in self.items]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return [item.values for item in self.items]
+
+    def to_table(self, attributes: Optional[List[str]] = None) -> str:
+        """Render as a small aligned text table (for examples / demos)."""
+        if not self.items:
+            return "(no results)"
+        if attributes is None:
+            attributes = list(self.items[0].values)
+        header = list(attributes)
+        if self.scored:
+            header.append("score")
+        rows = []
+        for item in self.items:
+            row = [str(item.values[a]) for a in attributes]
+            if self.scored:
+                row.append(f"{item.score:g}" if item.score is not None else "-")
+            rows.append(row)
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in rows))
+            for i in range(len(header))
+        ]
+        lines = [
+            "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+            "  ".join("-" * widths[i] for i in range(len(header))),
+        ]
+        for row in rows:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+        return "\n".join(lines)

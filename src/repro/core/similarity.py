@@ -1,0 +1,214 @@
+"""Formal diversity semantics (Definitions 1 & 2) and checkers.
+
+The paper's similarity ``SIM_rho(x, y)`` is 1 when x and y agree on the
+attribute just below prefix ``rho``.  Minimising the all-pairs sum inside
+every prefix is equivalent to requiring, at every node of the Dewey tree,
+that the per-child counts of the answer form a *water-filling* allocation:
+
+    minimise sum_i n_i^2   s.t.  sum_i n_i = b,  0 <= n_i <= N_i,
+
+where ``N_i`` is the number of query results below child ``i``.  For this
+separable convex program, integer single-exchange optimality is global
+optimality, giving the O(children) local check used by :func:`is_diverse`.
+
+The scored variant (``R_k^score``) adds per-child lower bounds: tuples
+scoring strictly above the k-th best score are forced into every optimal
+answer, so child ``i`` must take between ``f_i`` (its forced count) and
+``f_i + A_i`` (forced plus score-tie availability).
+
+These checkers *are* the paper's definitions, made executable; every
+algorithm in :mod:`repro.core` is tested against them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .dewey import DeweyId
+
+Prefix = Tuple[int, ...]
+
+
+def count_tree(deweys: Iterable[DeweyId]) -> Dict[Prefix, int]:
+    """Number of IDs under every prefix (including the root ``()`` and the
+    full IDs themselves)."""
+    counts: Dict[Prefix, int] = defaultdict(int)
+    for dewey in deweys:
+        for length in range(len(dewey) + 1):
+            counts[dewey[:length]] += 1
+    return dict(counts)
+
+
+def children_of(counts: Dict[Prefix, int], prefix: Prefix) -> List[Prefix]:
+    """Child prefixes of ``prefix`` present in a count tree.
+
+    O(size of tree); fine for the oracle/checker use cases.
+    """
+    depth = len(prefix) + 1
+    return [
+        candidate
+        for candidate in counts
+        if len(candidate) == depth and candidate[:-1] == prefix
+    ]
+
+
+def pair_objective(counts: Sequence[int]) -> int:
+    """``sum_i n_i * (n_i - 1) / 2`` — the paper's all-pairs SIM sum for one
+    node (unordered pairs)."""
+    return sum(n * (n - 1) // 2 for n in counts)
+
+
+def is_balanced(
+    selected_counts: Sequence[int],
+    availabilities: Sequence[int],
+    lower_bounds: Sequence[int] | None = None,
+) -> bool:
+    """Water-filling optimality of one node's child counts.
+
+    ``selected_counts[i]`` items were chosen below child ``i`` out of
+    ``availabilities[i]`` candidates; ``lower_bounds[i]`` of them are forced
+    (scored case; defaults to all-zero).  The allocation is optimal iff no
+    single move of one unit from a donor child (count above its lower bound)
+    to a receiver child (count below its availability) with a gap >= 2 exists.
+    """
+    if lower_bounds is None:
+        lower_bounds = [0] * len(selected_counts)
+    if not (len(selected_counts) == len(availabilities) == len(lower_bounds)):
+        raise ValueError("count/availability/bound vectors must align")
+    donors = [
+        n
+        for n, f in zip(selected_counts, lower_bounds)
+        if n > f
+    ]
+    receivers = [
+        n
+        for n, cap in zip(selected_counts, availabilities)
+        if n < cap
+    ]
+    for n, cap, f in zip(selected_counts, availabilities, lower_bounds):
+        if n > cap:
+            return False
+        if n < f:
+            return False
+    if not donors or not receivers:
+        return True
+    return max(donors) <= min(receivers) + 1
+
+
+def is_diverse(
+    selected: Iterable[DeweyId],
+    result_set: Iterable[DeweyId],
+    k: int | None = None,
+) -> bool:
+    """Definition 2: is ``selected`` a diverse result set of ``result_set``?
+
+    Checks (a) ``selected`` is a subset of ``result_set`` of the right size
+    (``min(k, |result_set|)`` when ``k`` is given), and (b) water-filling
+    optimality at every prefix.
+    """
+    selected = list(selected)
+    universe = set(result_set)
+    chosen = set(selected)
+    if len(chosen) != len(selected):
+        return False
+    if not chosen <= universe:
+        return False
+    if k is not None and len(chosen) != min(k, len(universe)):
+        return False
+    if not chosen:
+        return True
+    availability = count_tree(universe)
+    picked = count_tree(chosen)
+    for prefix, budget in picked.items():
+        if len(prefix) >= len(next(iter(chosen))):
+            continue
+        child_prefixes = children_of(availability, prefix)
+        selected_counts = [picked.get(child, 0) for child in child_prefixes]
+        availabilities = [availability[child] for child in child_prefixes]
+        if not is_balanced(selected_counts, availabilities):
+            return False
+    return True
+
+
+def balance_violations(
+    selected: Iterable[DeweyId],
+    result_set: Iterable[DeweyId],
+) -> int:
+    """Number of prefixes at which ``selected`` fails water-fill optimality.
+
+    0 means ``selected`` is a diverse result set (for its own size); larger
+    values quantify *how far* from diverse an approximate method landed —
+    used to evaluate the retrieve-c*k-then-rerank baseline from the paper's
+    introduction.
+    """
+    selected = list(selected)
+    chosen = set(selected)
+    if not chosen:
+        return 0
+    universe = set(result_set)
+    if not chosen <= universe:
+        raise ValueError("selected items must come from the result set")
+    availability = count_tree(universe)
+    picked = count_tree(chosen)
+    depth = len(next(iter(chosen)))
+    violations = 0
+    for prefix in picked:
+        if len(prefix) >= depth:
+            continue
+        child_prefixes = children_of(availability, prefix)
+        selected_counts = [picked.get(child, 0) for child in child_prefixes]
+        availabilities = [availability[child] for child in child_prefixes]
+        if not is_balanced(selected_counts, availabilities):
+            violations += 1
+    return violations
+
+
+def is_scored_diverse(
+    selected: Iterable[DeweyId],
+    scored_results: Dict[DeweyId, float],
+    k: int,
+) -> bool:
+    """Scored Definition 2: maximal total score, and diverse inside the
+    lowest-score tie tier (with higher-score tuples forced)."""
+    selected = list(selected)
+    chosen = set(selected)
+    if len(chosen) != len(selected):
+        return False
+    if not chosen <= set(scored_results):
+        return False
+    size = min(k, len(scored_results))
+    if len(chosen) != size:
+        return False
+    if not chosen:
+        return True
+    ranked = sorted(scored_results.values(), reverse=True)
+    theta = ranked[size - 1]
+    best_total = sum(ranked[:size])
+    total = sum(scored_results[dewey] for dewey in chosen)
+    if abs(total - best_total) > 1e-9:
+        return False
+    forced = {d for d, s in scored_results.items() if s > theta}
+    tier = {d for d, s in scored_results.items() if abs(s - theta) <= 1e-9}
+    if not forced <= chosen:
+        return False
+    forced_counts = count_tree(forced)
+    tier_counts = count_tree(tier)
+    picked = count_tree(chosen)
+    depth = len(next(iter(chosen)))
+    for prefix, budget in picked.items():
+        if len(prefix) >= depth:
+            continue
+        child_prefixes = sorted(
+            set(children_of(forced_counts, prefix))
+            | set(children_of(tier_counts, prefix))
+        )
+        selected_counts = [picked.get(child, 0) for child in child_prefixes]
+        lower = [forced_counts.get(child, 0) for child in child_prefixes]
+        caps = [
+            forced_counts.get(child, 0) + tier_counts.get(child, 0)
+            for child in child_prefixes
+        ]
+        if not is_balanced(selected_counts, caps, lower):
+            return False
+    return True

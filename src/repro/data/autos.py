@@ -1,0 +1,155 @@
+"""Synthetic Yahoo! Autos-style car listings.
+
+The paper evaluates on a proprietary dump of Yahoo! Autos (Section V-A).  We
+cannot ship that data, so this generator produces listings with the
+statistical shape the algorithms care about:
+
+* a *skewed* make/model hierarchy (Zipf-ish popularity: a few makes dominate,
+  each make has a few dominant models), giving Dewey trees with both bushy
+  and skinny regions;
+* heavy duplication at the bottom (many listings of the same
+  make/model/color/year — the paper's motivation for why "retrieve c*k then
+  post-process" fails on structured data);
+* guaranteed *rare* listings (the paper's Honda S2000 example): every make
+  has at least one model with only a handful of listings, which diverse
+  results must still surface;
+* a description column built from a small keyword vocabulary with
+  model-correlated phrases, so keyword predicates of tunable selectivity
+  exist.
+
+Everything is driven by a seeded ``random.Random`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..core.ordering import DiversityOrdering
+from ..storage.relation import Relation
+from ..storage.schema import Schema
+
+MAKES_MODELS = {
+    "Honda": ["Civic", "Accord", "Odyssey", "CRV", "Pilot", "Fit", "Ridgeline", "S2000"],
+    "Toyota": ["Camry", "Corolla", "Prius", "Tercel", "Rav4", "Highlander", "Supra"],
+    "Ford": ["F150", "Focus", "Fusion", "Escape", "Mustang", "Ranger"],
+    "Chevrolet": ["Silverado", "Malibu", "Impala", "Equinox", "Corvette"],
+    "Nissan": ["Altima", "Sentra", "Maxima", "Rogue", "Leaf"],
+    "BMW": ["328i", "535i", "X3", "X5", "M3"],
+    "Volkswagen": ["Jetta", "Passat", "Golf", "Beetle"],
+    "Hyundai": ["Elantra", "Sonata", "Tucson"],
+    "Subaru": ["Outback", "Impreza", "Forester"],
+    "Tesla": ["ModelS", "Roadster"],
+}
+
+COLORS = ["Black", "White", "Silver", "Blue", "Red", "Green", "Gray", "Tan", "Orange"]
+YEARS = list(range(1999, 2009))
+
+#: Description phrase fragments; several echo the paper's examples.
+PHRASES = [
+    "low miles", "low price", "one owner", "best price", "good miles",
+    "clean title", "new tires", "rare find", "fun car", "great condition",
+    "leather seats", "sunroof", "dealer certified", "convertible",
+    "manual transmission", "automatic", "navigation system", "tow package",
+]
+
+#: Fraction of each make's listings that go to its *rare* last model.
+RARE_MODEL_SHARE = 0.002
+
+
+@dataclass
+class AutosSpec:
+    """Parameters of the generator (defaults follow Figure 4)."""
+
+    rows: int = 50_000
+    seed: int = 42
+    makes: int = 10
+    make_skew: float = 1.1
+    model_skew: float = 1.2
+    phrases_per_listing: int = 3
+
+    def __post_init__(self):
+        if self.rows < 0:
+            raise ValueError("rows must be non-negative")
+        if not 1 <= self.makes <= len(MAKES_MODELS):
+            raise ValueError(f"makes must be in [1, {len(MAKES_MODELS)}]")
+
+
+def autos_schema() -> Schema:
+    """The Cars schema from Figure 1 (Id is implicit: the rid)."""
+    return Schema.of(
+        Make="categorical",
+        Model="categorical",
+        Color="categorical",
+        Year="numeric",
+        Description="text",
+    )
+
+
+def autos_ordering() -> DiversityOrdering:
+    """The paper's running diversity ordering (Section II-B)."""
+    return DiversityOrdering(["Make", "Model", "Color", "Year", "Description"])
+
+
+def _zipf_weights(n: int, skew: float) -> List[float]:
+    return [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+
+
+def generate_autos(spec: AutosSpec | None = None, **overrides) -> Relation:
+    """Generate a car-listings relation according to ``spec``.
+
+    Keyword overrides build a spec on the fly:
+    ``generate_autos(rows=10_000, seed=7)``.
+    """
+    if spec is None:
+        spec = AutosSpec(**overrides)
+    elif overrides:
+        raise ValueError("pass either a spec or keyword overrides, not both")
+    rng = random.Random(spec.seed)
+    makes = list(MAKES_MODELS)[: spec.makes]
+    make_weights = _zipf_weights(len(makes), spec.make_skew)
+    relation = Relation(autos_schema(), name="Cars")
+    for _ in range(spec.rows):
+        make = rng.choices(makes, weights=make_weights)[0]
+        models = MAKES_MODELS[make]
+        # The last model of every make is rare: tiny fixed probability.
+        if len(models) > 1 and rng.random() < RARE_MODEL_SHARE:
+            model = models[-1]
+        else:
+            common = models[:-1] if len(models) > 1 else models
+            weights = _zipf_weights(len(common), spec.model_skew)
+            model = rng.choices(common, weights=weights)[0]
+        color = rng.choice(COLORS)
+        year = rng.choice(YEARS)
+        count = max(1, min(spec.phrases_per_listing, len(PHRASES)))
+        description = ", ".join(_pick_phrases(rng, count))
+        relation.insert((make, model, color, year, description))
+    return relation
+
+
+#: Zipf weights over PHRASES: "low miles" is in most listings, "tow package"
+#: in few — so keyword predicates of *any* selectivity (Figure 4's 0-1
+#: range) exist in the data.
+_PHRASE_WEIGHTS = _zipf_weights(len(PHRASES), 1.4)
+
+
+def _pick_phrases(rng: random.Random, count: int) -> List[str]:
+    """Sample ``count`` distinct phrases with popularity skew."""
+    chosen: dict[str, None] = {}
+    while len(chosen) < count:
+        phrase = rng.choices(PHRASES, weights=_PHRASE_WEIGHTS)[0]
+        chosen.setdefault(phrase, None)
+    return list(chosen)
+
+
+def rare_models(relation: Relation) -> List[str]:
+    """Models appearing in at most 0.1% of listings (the S2000 check)."""
+    if len(relation) == 0:
+        return []
+    counts: dict[str, int] = {}
+    position = relation.schema.position("Model")
+    for row in relation:
+        counts[row[position]] = counts.get(row[position], 0) + 1
+    threshold = max(1, len(relation) // 1000)
+    return sorted(model for model, count in counts.items() if count <= threshold)

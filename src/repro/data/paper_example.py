@@ -1,0 +1,40 @@
+"""The paper's running example: the Cars relation of Figure 1(a).
+
+Used by the documentation examples, the Theorem 1 demonstration and many
+tests, so it lives in the library rather than in test fixtures.
+"""
+
+from __future__ import annotations
+
+from ..core.ordering import DiversityOrdering
+from ..storage.relation import Relation
+from .autos import autos_schema
+
+#: Rows exactly as printed in Figure 1(a) (Id column is the rid + 1).
+FIGURE1_ROWS = [
+    ("Honda", "Civic", "Green", 2007, "Low miles"),
+    ("Honda", "Civic", "Blue", 2007, "Low miles"),
+    ("Honda", "Civic", "Red", 2007, "Low miles"),
+    ("Honda", "Civic", "Black", 2007, "Low miles"),
+    ("Honda", "Civic", "Black", 2006, "Low price"),
+    ("Honda", "Accord", "Blue", 2007, "Best price"),
+    ("Honda", "Accord", "Red", 2006, "Good miles"),
+    ("Honda", "Odyssey", "Green", 2007, "Rare"),
+    ("Honda", "Odyssey", "Green", 2006, "Good miles"),
+    ("Honda", "CRV", "Red", 2007, "Fun car"),
+    ("Honda", "CRV", "Orange", 2006, "Good miles"),
+    ("Toyota", "Prius", "Tan", 2007, "Low miles"),
+    ("Toyota", "Corolla", "Black", 2007, "Low miles"),
+    ("Toyota", "Tercel", "Blue", 2007, "Low miles"),
+    ("Toyota", "Camry", "Blue", 2007, "Low miles"),
+]
+
+
+def figure1_relation() -> Relation:
+    """A fresh copy of the Figure 1(a) Cars relation."""
+    return Relation.from_rows(autos_schema(), FIGURE1_ROWS, name="Cars")
+
+
+def figure1_ordering() -> DiversityOrdering:
+    """Make < Model < Color < Year < Description (Section II-B)."""
+    return DiversityOrdering(["Make", "Model", "Color", "Year", "Description"])

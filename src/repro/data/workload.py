@@ -1,0 +1,135 @@
+"""Synthetic query workloads (Figure 4).
+
+The paper generates 5000 random queries per experiment, controlled by three
+parameters (defaults in bold in Figure 4):
+
+* number of predicates: 1-5 (default: none, i.e. the match-all query),
+* predicate selectivity: 0-1 (default 0.5),
+* number of results k: 1-100 (default 10).
+
+"Query predicates are on car attributes and are picked at random."  We draw
+scalar predicates from the observed value frequencies of a relation and
+keyword predicates from the description vocabulary, steering each predicate
+toward the requested selectivity; Figure 7 then *groups queries by their
+actual selectivity*, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from ..index.tokenize import token_set
+from ..query.query import Query
+from ..storage.relation import Relation
+from ..storage.schema import AttributeKind
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Figure 4's parameter table."""
+
+    queries: int = 5000
+    predicates: int = 0          # 0 = the paper's "None" default (match all)
+    selectivity: float = 0.5
+    k: int = 10
+    seed: int = 1
+    disjunctive: bool = False    # OR queries (used by the scored experiments)
+    weighted: bool = False       # random leaf weights (scored variants)
+
+    def __post_init__(self):
+        if self.queries < 0:
+            raise ValueError("queries must be non-negative")
+        if not 0 <= self.predicates <= 5:
+            raise ValueError("predicates must be in [0, 5] (Figure 4)")
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise ValueError("selectivity must be in [0, 1]")
+        if not 1 <= self.k <= 10_000:
+            raise ValueError("k out of range")
+
+
+class _ValueStats:
+    """Observed per-attribute value and token frequencies of a relation."""
+
+    def __init__(self, relation: Relation):
+        self.size = max(1, relation.live_count)
+        # Global candidate pool: (attribute, value-or-token, is_keyword,
+        # match count), sorted by count so closest-to-target lookups are a
+        # bisect away.
+        counts: dict[tuple[str, object, bool], int] = {}
+        for attribute in relation.schema:
+            position = relation.schema.position(attribute.name)
+            for _, row in relation.iter_live():
+                key = (attribute.name, row[position], False)
+                counts[key] = counts.get(key, 0) + 1
+            if attribute.kind is AttributeKind.TEXT:
+                for _, row in relation.iter_live():
+                    for token in token_set(row[position]):
+                        key = (attribute.name, token, True)
+                        counts[key] = counts.get(key, 0) + 1
+        self.candidates = sorted(
+            ((name, value, is_kw, count) for (name, value, is_kw), count in counts.items()),
+            key=lambda entry: entry[3],
+        )
+        self._counts = [entry[3] for entry in self.candidates]
+
+    def pick(
+        self, rng: random.Random, target_selectivity: float
+    ) -> tuple[str, object, bool]:
+        """Pick ``(attribute, value-or-token, is_keyword)`` whose match
+        frequency lies closest to the requested selectivity, drawing at
+        random from a small window of near-target candidates so workloads
+        vary."""
+        import bisect
+
+        target = target_selectivity * self.size
+        anchor = bisect.bisect_left(self._counts, target)
+        window = 8
+        low = max(0, anchor - window)
+        high = min(len(self.candidates), anchor + window)
+        if low >= high:
+            low, high = 0, len(self.candidates)
+        name, value, is_keyword, _ = self.candidates[rng.randrange(low, high)]
+        return name, value, is_keyword
+
+
+class WorkloadGenerator:
+    """Reproducible stream of queries for one relation."""
+
+    def __init__(self, relation: Relation, spec: WorkloadSpec | None = None, **overrides):
+        if spec is None:
+            spec = WorkloadSpec(**overrides)
+        elif overrides:
+            raise ValueError("pass either a spec or keyword overrides, not both")
+        self.relation = relation
+        self.spec = spec
+        self._stats = _ValueStats(relation)
+
+    def queries(self) -> Iterator[Query]:
+        """Yield ``spec.queries`` random queries."""
+        rng = random.Random(self.spec.seed)
+        for _ in range(self.spec.queries):
+            yield self.one_query(rng)
+
+    def one_query(self, rng: random.Random) -> Query:
+        """Generate a single query according to the spec."""
+        count = self.spec.predicates
+        if count == 0:
+            return Query.match_all()
+        leaves = []
+        for _ in range(count):
+            name, value, is_keyword = self._stats.pick(rng, self.spec.selectivity)
+            weight = float(rng.randint(1, 5)) if self.spec.weighted else 1.0
+            if is_keyword:
+                leaves.append(Query.keyword(name, str(value), weight=weight))
+            else:
+                leaves.append(Query.scalar(name, value, weight=weight))
+        if len(leaves) == 1:
+            return leaves[0]
+        if self.spec.disjunctive:
+            return Query.disjunction(*leaves)
+        return Query.conjunction(*leaves)
+
+    def materialise(self) -> List[Query]:
+        return list(self.queries())

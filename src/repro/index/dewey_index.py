@@ -1,0 +1,165 @@
+"""Dewey ID assignment for a relation under a diversity ordering.
+
+This is the paper's "index generation module which generates an in-memory
+Dewey tree which stores the Dewey of each tuple in the base table"
+(Section V-A).  Each tuple's Dewey ID has one component per ordering
+attribute (its sibling number among values sharing the same prefix,
+Figure 2) plus a final uniqueness component so that tuples with identical
+attribute values still receive distinct IDs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+from ..core.dewey import DeweyId
+from ..core.ordering import DiversityOrdering
+from ..storage.relation import Relation
+from .dictionary import SiblingDictionary
+
+
+class DeweyIndex:
+    """Bidirectional rid <-> Dewey ID mapping for one relation."""
+
+    def __init__(self, relation: Relation, ordering: DiversityOrdering):
+        ordering.validate_against(relation.schema)
+        self._relation = relation
+        self._ordering = ordering
+        self._positions = [
+            relation.schema.position(name) for name in ordering.attributes
+        ]
+        self._dictionary = SiblingDictionary()
+        self._uniqueness: dict[tuple, int] = {}
+        self._dewey_by_rid: dict[int, DeweyId] = {}
+        self._rid_by_dewey: dict[DeweyId, int] = {}
+
+    @classmethod
+    def build(cls, relation: Relation, ordering: DiversityOrdering) -> "DeweyIndex":
+        """Offline bulk build: sibling numbers follow sorted value order."""
+        index = cls(relation, ordering)
+        keyed = sorted(
+            (rid for rid, _ in relation.iter_live()),
+            key=lambda rid: tuple(
+                _sort_key(relation[rid][p]) for p in index._positions
+            ),
+        )
+        for rid in keyed:
+            index.add(rid)
+        return index
+
+    @property
+    def relation(self) -> Relation:
+        return self._relation
+
+    @property
+    def ordering(self) -> DiversityOrdering:
+        return self._ordering
+
+    @property
+    def depth(self) -> int:
+        """Dewey depth (#ordering attributes + 1 uniqueness level)."""
+        return self._ordering.depth
+
+    def __len__(self) -> int:
+        return len(self._dewey_by_rid)
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self._dewey_by_rid
+
+    def add(self, rid: int) -> DeweyId:
+        """Assign (or return the existing) Dewey ID for row ``rid``.
+
+        Incremental: values unseen under their prefix get the next sibling
+        number, exactly as an online listings feed would be indexed.
+        """
+        existing = self._dewey_by_rid.get(rid)
+        if existing is not None:
+            return existing
+        row = self._relation[rid]
+        components: list[int] = []
+        prefix: tuple = ()
+        for position in self._positions:
+            number = self._dictionary.encode(prefix, row[position])
+            components.append(number)
+            prefix = prefix + (number,)
+        ordinal = self._uniqueness.get(prefix, 0)
+        self._uniqueness[prefix] = ordinal + 1
+        dewey = tuple(components) + (ordinal,)
+        self._dewey_by_rid[rid] = dewey
+        self._rid_by_dewey[dewey] = rid
+        return dewey
+
+    def remove(self, rid: int) -> Optional[DeweyId]:
+        """Forget row ``rid``'s Dewey ID (tombstoned listing); returns it.
+
+        Sibling dictionary entries are retained — re-inserting the same
+        values later reuses the same components, keeping old snapshots and
+        logs meaningful.
+        """
+        dewey = self._dewey_by_rid.pop(rid, None)
+        if dewey is not None:
+            del self._rid_by_dewey[dewey]
+        return dewey
+
+    def dewey_of(self, rid: int) -> DeweyId:
+        try:
+            return self._dewey_by_rid[rid]
+        except KeyError:
+            raise KeyError(f"rid {rid} not indexed") from None
+
+    def rid_of(self, dewey: DeweyId) -> int:
+        try:
+            return self._rid_by_dewey[dewey]
+        except KeyError:
+            raise KeyError(f"no tuple with Dewey ID {dewey}") from None
+
+    def rids_of(self, deweys: Iterable[DeweyId]) -> list[int]:
+        return [self.rid_of(dewey) for dewey in deweys]
+
+    def all_deweys(self) -> list[DeweyId]:
+        """All assigned Dewey IDs in document order."""
+        return sorted(self._rid_by_dewey)
+
+    def iter_rids(self) -> Iterator[int]:
+        return iter(self._dewey_by_rid)
+
+    def component_of(self, attribute: str, prefix_values: tuple, value: Any) -> Optional[int]:
+        """Sibling number of ``value`` for ``attribute`` under the given
+        *value* prefix (values of all higher-priority attributes), or ``None``
+        if that value never occurred there.  Mostly a testing/debugging aid.
+        """
+        level = self._ordering.level_of(attribute)
+        if len(prefix_values) != level - 1:
+            raise ValueError(
+                f"attribute {attribute!r} is at level {level}; expected "
+                f"{level - 1} prefix values, got {len(prefix_values)}"
+            )
+        prefix: tuple = ()
+        for depth, prefix_value in enumerate(prefix_values):
+            number = self._dictionary.lookup(prefix, prefix_value)
+            if number is None:
+                return None
+            prefix = prefix + (number,)
+        return self._dictionary.lookup(prefix, value)
+
+    def values_of(self, dewey: DeweyId) -> tuple:
+        """Decode a Dewey ID back to its ordering-attribute values."""
+        values = []
+        prefix: tuple = ()
+        for component in dewey[: len(self._positions)]:
+            values.append(self._dictionary.decode(prefix, component))
+            prefix = prefix + (component,)
+        return tuple(values)
+
+    def fanout(self, prefix: tuple) -> int:
+        """Number of distinct children under a Dewey *component* prefix."""
+        return self._dictionary.fanout(prefix)
+
+
+def _sort_key(value: Any) -> tuple:
+    """Type-tagged sort key so mixed int/str columns never raise."""
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (1, str(value))

@@ -1,0 +1,57 @@
+"""Per-level sibling dictionaries for Dewey assignment.
+
+Figure 2 of the paper assigns "a distinct integer identifier to each value in
+an attribute", re-initialising the numbering at 0 for each parent: the Dewey
+component of a value is its sibling number *within its prefix*.  A
+:class:`SiblingDictionary` owns that mapping for one tree: for every prefix
+(a tuple of parent components) it maps child values to dense ints and back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+
+class SiblingDictionary:
+    """value <-> sibling-number maps, keyed by parent Dewey prefix."""
+
+    def __init__(self):
+        self._forward: dict[tuple, dict[Hashable, int]] = {}
+        self._reverse: dict[tuple, list[Hashable]] = {}
+
+    def encode(self, prefix: tuple, value: Hashable) -> int:
+        """Sibling number of ``value`` under ``prefix``, allocating if new."""
+        children = self._forward.get(prefix)
+        if children is None:
+            children = {}
+            self._forward[prefix] = children
+            self._reverse[prefix] = []
+        number = children.get(value)
+        if number is None:
+            number = len(children)
+            children[value] = number
+            self._reverse[prefix].append(value)
+        return number
+
+    def lookup(self, prefix: tuple, value: Hashable) -> Optional[int]:
+        """Sibling number of ``value`` under ``prefix`` or ``None`` if unseen."""
+        children = self._forward.get(prefix)
+        if children is None:
+            return None
+        return children.get(value)
+
+    def decode(self, prefix: tuple, number: int) -> Any:
+        """The value with sibling ``number`` under ``prefix``."""
+        values = self._reverse.get(prefix)
+        if values is None or not 0 <= number < len(values):
+            raise KeyError(f"no sibling {number} under prefix {prefix}")
+        return values[number]
+
+    def fanout(self, prefix: tuple) -> int:
+        """Number of distinct children observed under ``prefix``."""
+        children = self._forward.get(prefix)
+        return len(children) if children is not None else 0
+
+    def prefixes(self) -> list[tuple]:
+        """All parent prefixes observed so far."""
+        return list(self._forward)

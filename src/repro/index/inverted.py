@@ -1,0 +1,199 @@
+"""The Dewey-keyed inverted index (Section III-A).
+
+One posting list per distinct ``(attribute, value)`` pair (scalar
+predicates), one per ``(attribute, token)`` pair of TEXT attributes (keyword
+predicates), plus the full document-order list (for predicate-free queries).
+Posting lists hold Dewey IDs, so every list is sorted in diversity-tree
+document order and supports bidirectional skip navigation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ..core.dewey import DeweyId
+from ..core.ordering import DiversityOrdering
+from ..storage.relation import Relation
+from ..storage.schema import AttributeKind
+from .dewey_index import DeweyIndex
+from .postings import (
+    ARRAY_BACKEND,
+    ArrayPostingList,
+    BACKENDS,
+    PostingList,
+    make_posting_list,
+)
+from .tokenize import token_set
+
+_EMPTY = ArrayPostingList()
+
+
+class InvertedIndex:
+    """Dewey index + posting lists for one relation."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        ordering: DiversityOrdering,
+        backend: str = ARRAY_BACKEND,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        self._relation = relation
+        self._ordering = ordering
+        self._backend = backend
+        self._dewey = DeweyIndex(relation, ordering)
+        self._scalar: dict[tuple[str, Any], PostingList] = {}
+        self._token: dict[tuple[str, str], PostingList] = {}
+        self._all: PostingList = make_posting_list((), backend)
+        self._text_attributes = tuple(
+            attribute.name
+            for attribute in relation.schema
+            if attribute.kind is AttributeKind.TEXT
+        )
+
+    @classmethod
+    def build(
+        cls,
+        relation: Relation,
+        ordering: DiversityOrdering,
+        backend: str = ARRAY_BACKEND,
+    ) -> "InvertedIndex":
+        """Offline index generation (the paper's build module, Section V-A)."""
+        index = cls(relation, ordering, backend=backend)
+        index._dewey = DeweyIndex.build(relation, ordering)
+        scalar_acc: dict[tuple[str, Any], list[DeweyId]] = {}
+        token_acc: dict[tuple[str, str], list[DeweyId]] = {}
+        everything: list[DeweyId] = []
+        names = relation.schema.names
+        for dewey in index._dewey.all_deweys():
+            rid = index._dewey.rid_of(dewey)
+            row = relation[rid]
+            everything.append(dewey)
+            for name, value in zip(names, row):
+                scalar_acc.setdefault((name, value), []).append(dewey)
+            for name in index._text_attributes:
+                text = relation.value(rid, name)
+                for token in token_set(text):
+                    token_acc.setdefault((name, token), []).append(dewey)
+        # The accumulators were filled in Dewey order, so lists are sorted.
+        index._scalar = {
+            key: make_posting_list(postings, backend)
+            for key, postings in scalar_acc.items()
+        }
+        index._token = {
+            key: make_posting_list(postings, backend)
+            for key, postings in token_acc.items()
+        }
+        index._all = make_posting_list(everything, backend)
+        return index
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def relation(self) -> Relation:
+        return self._relation
+
+    @property
+    def ordering(self) -> DiversityOrdering:
+        return self._ordering
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def dewey(self) -> DeweyIndex:
+        return self._dewey
+
+    @property
+    def depth(self) -> int:
+        return self._ordering.depth
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedIndex({self._relation.name!r}, {len(self._all)} tuples, "
+            f"{len(self._scalar)} value lists, {len(self._token)} token lists, "
+            f"backend={self._backend!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Posting-list lookup
+    # ------------------------------------------------------------------
+    def scalar_postings(self, attribute: str, value: Any) -> PostingList:
+        """Postings of ``attribute = value`` (empty list if unseen)."""
+        self._relation.validate_attribute(attribute)
+        return self._scalar.get((attribute, value), _EMPTY)
+
+    def token_postings(self, attribute: str, token: str) -> PostingList:
+        """Postings of one keyword token in a TEXT attribute."""
+        self._relation.validate_attribute(attribute)
+        if attribute not in self._text_attributes:
+            raise ValueError(
+                f"attribute {attribute!r} is not TEXT; keyword predicates "
+                f"need a TEXT attribute"
+            )
+        return self._token.get((attribute, token.lower()), _EMPTY)
+
+    def all_postings(self) -> PostingList:
+        """Every indexed Dewey ID, in document order."""
+        return self._all
+
+    def vocabulary(self, attribute: str) -> list[Any]:
+        """Distinct indexed values of ``attribute`` (arbitrary order)."""
+        return [value for (name, value) in self._scalar if name == attribute]
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def remove(self, rid: int) -> Optional[DeweyId]:
+        """Unindex one row (a sold/expired listing); returns its Dewey ID.
+
+        The caller is responsible for tombstoning the relation row (see
+        :meth:`DiversityEngine.delete`); this removes the Dewey ID from
+        every posting list so queries stop returning it immediately.
+        """
+        if rid not in self._dewey:
+            return None
+        dewey = self._dewey.dewey_of(rid)
+        row = self._relation[rid]
+        self._all.remove(dewey)
+        for name, value in zip(self._relation.schema.names, row):
+            postings = self._scalar.get((name, value))
+            if postings is not None:
+                postings.remove(dewey)
+        for name in self._text_attributes:
+            for token in token_set(self._relation.value(rid, name)):
+                postings = self._token.get((name, token))
+                if postings is not None:
+                    postings.remove(dewey)
+        self._dewey.remove(rid)
+        return dewey
+
+    def insert(self, rid: int) -> DeweyId:
+        """Index one new row of the underlying relation."""
+        dewey = self._dewey.add(rid)
+        if dewey in self._all:
+            return dewey
+        row = self._relation[rid]
+        self._all.insert(dewey)
+        for name, value in zip(self._relation.schema.names, row):
+            key = (name, value)
+            postings = self._scalar.get(key)
+            if postings is None:
+                postings = make_posting_list((), self._backend)
+                self._scalar[key] = postings
+            postings.insert(dewey)
+        for name in self._text_attributes:
+            for token in token_set(self._relation.value(rid, name)):
+                key = (name, token)
+                postings = self._token.get(key)
+                if postings is None:
+                    postings = make_posting_list((), self._backend)
+                    self._token[key] = postings
+                postings.insert(dewey)
+        return dewey

@@ -1,0 +1,310 @@
+"""Merged-list navigation over a compiled query (Section III-B).
+
+The paper's algorithms never materialise ``RES(R, Q)``; they navigate a
+conceptual *merged list* of all matches through
+
+* ``next(id, LEFT)``  — smallest matching Dewey ID >= id,
+* ``next(id, RIGHT)`` — largest matching Dewey ID <= id,
+* ``next(id, dir, theta)`` — ditto, restricted to tuples scoring >= theta,
+
+implemented here by composing posting-list seeks: leapfrog intersection for
+AND nodes, k-way min/max for OR nodes.  :class:`MergedList` is the façade the
+diversity algorithms use; it also counts probe calls so Theorem 2 and the
+ablation benchmarks can be checked empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.dewey import LEFT, RIGHT, DeweyId, predecessor, successor, validate_direction
+from ..query.predicates import KeywordPredicate, ScalarPredicate
+from ..query.query import AND, LEAF, OR, Query
+from .inverted import InvertedIndex
+from .postings import PostingList
+
+
+class Cursor:
+    """A navigable view of the Dewey IDs matching some boolean expression."""
+
+    def next(self, bound: DeweyId, direction: str = LEFT) -> Optional[DeweyId]:
+        """Nearest match at-or-beyond ``bound`` in ``direction``."""
+        raise NotImplementedError
+
+    def contains(self, dewey: DeweyId) -> bool:
+        return self.next(dewey, LEFT) == dewey
+
+
+class LeafCursor(Cursor):
+    """Navigates a single posting list."""
+
+    __slots__ = ("_postings",)
+
+    def __init__(self, postings: PostingList):
+        self._postings = postings
+
+    def next(self, bound: DeweyId, direction: str = LEFT) -> Optional[DeweyId]:
+        if direction == LEFT:
+            return self._postings.seek(bound)
+        validate_direction(direction)
+        return self._postings.seek_floor(bound)
+
+
+class AndCursor(Cursor):
+    """Leapfrog intersection of child cursors."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, children: list[Cursor]):
+        if not children:
+            raise ValueError("AndCursor needs at least one child")
+        self._children = children
+
+    def next(self, bound: DeweyId, direction: str = LEFT) -> Optional[DeweyId]:
+        validate_direction(direction)
+        candidate = bound
+        while True:
+            agreed = True
+            for child in self._children:
+                found = child.next(candidate, direction)
+                if found is None:
+                    return None
+                if found != candidate:
+                    candidate = found
+                    agreed = False
+                    break
+            if agreed:
+                return candidate
+
+
+class OrCursor(Cursor):
+    """k-way union of child cursors."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, children: list[Cursor]):
+        if not children:
+            raise ValueError("OrCursor needs at least one child")
+        self._children = children
+
+    def next(self, bound: DeweyId, direction: str = LEFT) -> Optional[DeweyId]:
+        validate_direction(direction)
+        best: Optional[DeweyId] = None
+        for child in self._children:
+            found = child.next(bound, direction)
+            if found is None:
+                continue
+            if best is None:
+                best = found
+            elif direction == LEFT and found < best:
+                best = found
+            elif direction == RIGHT and found > best:
+                best = found
+        return best
+
+
+def compile_cursor(query: Query, index: InvertedIndex) -> Cursor:
+    """Compile a query tree to a cursor over the inverted index."""
+    if query.kind == LEAF:
+        return _compile_leaf(query, index)
+    children = [compile_cursor(child, index) for child in query.children]
+    if len(children) == 1:
+        return children[0]
+    if query.kind == AND:
+        return AndCursor(children)
+    if query.kind == OR:
+        return OrCursor(children)
+    raise ValueError(f"unknown query node kind {query.kind!r}")
+
+
+def _compile_leaf(query: Query, index: InvertedIndex) -> Cursor:
+    predicate = query.predicate
+    if isinstance(predicate, ScalarPredicate):
+        return LeafCursor(index.scalar_postings(predicate.attribute, predicate.value))
+    if isinstance(predicate, KeywordPredicate):
+        lists = [
+            LeafCursor(index.token_postings(predicate.attribute, token))
+            for token in predicate.terms
+        ]
+        if len(lists) == 1:
+            return lists[0]
+        return AndCursor(lists)
+    # The match-all predicate (and any future always-true predicate).
+    return LeafCursor(index.all_postings())
+
+
+class MergedList:
+    """The façade used by all diversity algorithms.
+
+    Wraps the boolean cursor of a query plus the per-leaf weighted cursors
+    needed for scoring, and counts every probe for instrumentation.
+    """
+
+    def __init__(self, query: Query, index: InvertedIndex):
+        self._query = query
+        self._index = index
+        self._root = compile_cursor(query, index)
+        self._leaves: list[tuple[Cursor, float]] = [
+            (_compile_leaf(leaf, index), leaf.weight) for leaf in query.leaves()
+        ]
+        self.next_calls = 0
+        self.scored_next_calls = 0
+
+    @property
+    def query(self) -> Query:
+        return self._query
+
+    @property
+    def index(self) -> InvertedIndex:
+        return self._index
+
+    @property
+    def depth(self) -> int:
+        return self._index.depth
+
+    def reset_stats(self) -> None:
+        self.next_calls = 0
+        self.scored_next_calls = 0
+
+    # ------------------------------------------------------------------
+    # Unscored navigation
+    # ------------------------------------------------------------------
+    def next(self, bound: DeweyId, direction: str = LEFT) -> Optional[DeweyId]:
+        """The paper's ``mergedList.next(id, dir)``."""
+        self.next_calls += 1
+        return self._root.next(bound, direction)
+
+    def first(self) -> Optional[DeweyId]:
+        """The leftmost match (``next(0)`` in the paper)."""
+        return self.next((0,) * self._index.depth, LEFT)
+
+    def contains(self, dewey: DeweyId) -> bool:
+        """Boolean membership test (not counted as a probe)."""
+        return self._root.next(dewey, LEFT) == dewey
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score(self, dewey: DeweyId) -> float:
+        """Sum of the weights of the leaf predicates containing ``dewey``."""
+        total = 0.0
+        for cursor, weight in self._leaves:
+            if weight and cursor.next(dewey, LEFT) == dewey:
+                total += weight
+        return total
+
+    def max_score(self) -> float:
+        return sum(weight for _, weight in self._leaves)
+
+    def weighted_leaves(self) -> list[tuple[Cursor, float]]:
+        """Per-leaf cursors with weights (consumed by WAND)."""
+        return list(self._leaves)
+
+    def next_scored(
+        self,
+        bound: DeweyId,
+        direction: str,
+        theta: float,
+        strict: bool = False,
+    ) -> Optional[DeweyId]:
+        """Nearest match in ``direction`` whose score is >= theta (or > theta
+        when ``strict``).  This is ``mergedList.next(id, dir, theta)`` from
+        Sections III-D and IV-B, implemented with WAND-style pivoting
+        ("our implementation of next() uses the same techniques as the WAND
+        algorithm", Section III-B): regions whose summed leaf weights cannot
+        reach theta are skipped without being touched.
+        """
+        step = self._wand_step(bound, direction, theta, strict)
+        return step[0] if step is not None else None
+
+    def _wand_step(
+        self,
+        bound: DeweyId,
+        direction: str,
+        theta: float,
+        strict: bool,
+    ) -> Optional[tuple[DeweyId, float]]:
+        """WAND pivot search for the nearest match scoring >= / > theta."""
+        self.scored_next_calls += 1
+        forward = direction == LEFT
+        states: list[list] = []
+        for cursor, weight in self._leaves:
+            if weight <= 0.0:
+                continue
+            position = cursor.next(bound, direction)
+            if position is not None:
+                states.append([position, cursor, weight])
+        while states:
+            states.sort(key=lambda state: state[0], reverse=not forward)
+            accumulated = 0.0
+            pivot_index = None
+            for index, state in enumerate(states):
+                accumulated += state[2]
+                if accumulated > theta if strict else accumulated >= theta:
+                    pivot_index = index
+                    break
+            if pivot_index is None:
+                return None
+            pivot = states[pivot_index][0]
+            if states[0][0] == pivot:
+                # Fully evaluate the pivot: boolean match + exact score.
+                if self._root.next(pivot, direction) == pivot:
+                    score = self.score(pivot)
+                    if score > theta if strict else score >= theta:
+                        return pivot, score
+                beyond = successor(pivot) if forward else predecessor(pivot)
+                if beyond is None:
+                    return None
+                remaining = []
+                for state in states:
+                    at_or_before = state[0] <= pivot if forward else state[0] >= pivot
+                    if at_or_before:
+                        position = state[1].next(beyond, direction)
+                        if position is None:
+                            continue
+                        state[0] = position
+                    remaining.append(state)
+                states = remaining
+            else:
+                # Advance the lagging lists up to the pivot.
+                remaining = []
+                for state in states:
+                    lagging = state[0] < pivot if forward else state[0] > pivot
+                    if lagging:
+                        position = state[1].next(pivot, direction)
+                        if position is None:
+                            continue
+                        state[0] = position
+                    remaining.append(state)
+                states = remaining
+        return None
+
+    def next_onepass_scored(
+        self,
+        start: DeweyId,
+        skip_id: Optional[DeweyId],
+        min_score: float,
+    ) -> Optional[tuple[DeweyId, float]]:
+        """The scored one-pass step (Section III-D).
+
+        Returns the smallest match ``id >= start`` such that either
+        ``score(id) > min_score``, or ``score(id) == min_score`` and
+        ``id >= skip_id``; ``None`` when the scan is exhausted (a ``None``
+        ``skip_id`` disables the equal-score pickup entirely).  The result
+        carries its score so the caller need not recompute it.
+
+        Composed of two WAND pivot searches: a strict one from ``start``
+        (anything beating the current minimum) and a non-strict one from
+        ``skip_id`` (the diversity-driven pickup within the tied tier); the
+        smaller of the two hits wins.
+        """
+        better = self._wand_step(start, LEFT, min_score, strict=True)
+        if skip_id is None:
+            return better
+        tier_start = skip_id if skip_id > start else start
+        tied = self._wand_step(tier_start, LEFT, min_score, strict=False)
+        if better is None:
+            return tied
+        if tied is None or better[0] <= tied[0]:
+            return better
+        return tied

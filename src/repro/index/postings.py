@@ -1,0 +1,168 @@
+"""Posting lists of Dewey IDs with bidirectional skip navigation.
+
+Every distinct attribute value (and every text token) owns one posting list
+holding the Dewey IDs of matching tuples in document order.  The paper's
+algorithms only ever touch posting lists through two primitives:
+
+* ``seek(id)``   — smallest posting >= id  (a LEFT-moving ``next``),
+* ``seek_floor(id)`` — largest posting <= id (a RIGHT-moving ``next``),
+
+which both backends implement in logarithmic time: a packed sorted array
+(binary search) and a B+-tree (the paper's choice, Section I).  The merged
+multi-list navigation lives in :mod:`repro.index.merged`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Optional
+
+from ..core.dewey import DeweyId
+from .bptree import BPlusTree
+
+ARRAY_BACKEND = "array"
+BPTREE_BACKEND = "bptree"
+BACKENDS = (ARRAY_BACKEND, BPTREE_BACKEND)
+
+
+class PostingList:
+    """Interface shared by both backends."""
+
+    def seek(self, dewey: DeweyId) -> Optional[DeweyId]:
+        """Smallest posting >= ``dewey``, or ``None``."""
+        raise NotImplementedError
+
+    def seek_floor(self, dewey: DeweyId) -> Optional[DeweyId]:
+        """Largest posting <= ``dewey``, or ``None``."""
+        raise NotImplementedError
+
+    def insert(self, dewey: DeweyId) -> None:
+        """Add one posting (idempotent)."""
+        raise NotImplementedError
+
+    def remove(self, dewey: DeweyId) -> bool:
+        """Drop one posting; returns False if absent."""
+        raise NotImplementedError
+
+    def first(self) -> Optional[DeweyId]:
+        raise NotImplementedError
+
+    def last(self) -> Optional[DeweyId]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[DeweyId]:
+        raise NotImplementedError
+
+    def __contains__(self, dewey: DeweyId) -> bool:
+        return self.seek(dewey) == dewey
+
+
+class ArrayPostingList(PostingList):
+    """Sorted-array backend: most compact, binary-search navigation."""
+
+    __slots__ = ("_postings",)
+
+    def __init__(self, postings: Iterable[DeweyId] = ()):
+        self._postings = sorted(set(postings))
+
+    @classmethod
+    def from_sorted(cls, postings: list[DeweyId]) -> "ArrayPostingList":
+        """Adopt an already strictly-sorted list without copying or checking."""
+        instance = cls.__new__(cls)
+        instance._postings = postings
+        return instance
+
+    def seek(self, dewey: DeweyId) -> Optional[DeweyId]:
+        index = bisect.bisect_left(self._postings, dewey)
+        if index == len(self._postings):
+            return None
+        return self._postings[index]
+
+    def seek_floor(self, dewey: DeweyId) -> Optional[DeweyId]:
+        index = bisect.bisect_right(self._postings, dewey) - 1
+        if index < 0:
+            return None
+        return self._postings[index]
+
+    def insert(self, dewey: DeweyId) -> None:
+        index = bisect.bisect_left(self._postings, dewey)
+        if index < len(self._postings) and self._postings[index] == dewey:
+            return
+        self._postings.insert(index, dewey)
+
+    def remove(self, dewey: DeweyId) -> bool:
+        index = bisect.bisect_left(self._postings, dewey)
+        if index < len(self._postings) and self._postings[index] == dewey:
+            del self._postings[index]
+            return True
+        return False
+
+    def first(self) -> Optional[DeweyId]:
+        return self._postings[0] if self._postings else None
+
+    def last(self) -> Optional[DeweyId]:
+        return self._postings[-1] if self._postings else None
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __iter__(self) -> Iterator[DeweyId]:
+        return iter(self._postings)
+
+    def __repr__(self) -> str:
+        return f"ArrayPostingList({len(self._postings)} postings)"
+
+
+class BTreePostingList(PostingList):
+    """B+-tree backend: logarithmic inserts, the paper's skip structure."""
+
+    __slots__ = ("_tree",)
+
+    def __init__(self, postings: Iterable[DeweyId] = (), order: int = 64):
+        unique = sorted(set(postings))
+        self._tree = BPlusTree.from_sorted([(p, None) for p in unique], order=order)
+
+    def seek(self, dewey: DeweyId) -> Optional[DeweyId]:
+        entry = self._tree.ceiling(dewey)
+        return entry[0] if entry is not None else None
+
+    def seek_floor(self, dewey: DeweyId) -> Optional[DeweyId]:
+        entry = self._tree.floor(dewey)
+        return entry[0] if entry is not None else None
+
+    def insert(self, dewey: DeweyId) -> None:
+        self._tree.insert(dewey, None)
+
+    def remove(self, dewey: DeweyId) -> bool:
+        return self._tree.delete(dewey)
+
+    def first(self) -> Optional[DeweyId]:
+        entry = self._tree.first()
+        return entry[0] if entry is not None else None
+
+    def last(self) -> Optional[DeweyId]:
+        entry = self._tree.last()
+        return entry[0] if entry is not None else None
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __iter__(self) -> Iterator[DeweyId]:
+        return self._tree.keys()
+
+    def __repr__(self) -> str:
+        return f"BTreePostingList({len(self._tree)} postings)"
+
+
+def make_posting_list(
+    postings: Iterable[DeweyId], backend: str = ARRAY_BACKEND
+) -> PostingList:
+    """Factory used by the inverted index builder."""
+    if backend == ARRAY_BACKEND:
+        return ArrayPostingList(postings)
+    if backend == BPTREE_BACKEND:
+        return BTreePostingList(postings)
+    raise ValueError(f"unknown posting-list backend {backend!r}")

@@ -1,0 +1,197 @@
+"""Index persistence: save and load a built inverted index.
+
+The paper's deployment builds the index offline ("Index generation is done
+offline and is very fast", Section V-A) and serves queries from it; this
+module provides the missing piece — a snapshot format so the offline build
+is done once.
+
+The snapshot stores the relation (schema + rows), the diversity ordering,
+the backend choice, and the exact rid -> Dewey assignment.  Persisting the
+assignment matters: bulk builds number siblings in sorted-value order while
+incremental builds number them first-come, and a restore must reproduce the
+exact IDs so that previously returned Dewey IDs stay valid.
+
+Format: a single gzip-compressed JSON document (schema-versioned).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Union
+
+from ..core.dewey import DeweyId
+from ..core.ordering import DiversityOrdering
+from ..storage.relation import Relation
+from ..storage.schema import Attribute, AttributeKind, Schema
+from .dewey_index import DeweyIndex
+from .inverted import InvertedIndex
+
+FORMAT_NAME = "repro-diversity-index"
+FORMAT_VERSION = 1
+
+
+class SnapshotError(ValueError):
+    """Raised for malformed or incompatible snapshot files."""
+
+
+def save_index(index: InvertedIndex, target: Union[str, Path]) -> None:
+    """Write ``index`` (and its relation) to a snapshot file."""
+    relation = index.relation
+    document = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": relation.name,
+        "backend": index.backend,
+        "ordering": list(index.ordering.attributes),
+        "schema": [
+            [attribute.name, attribute.kind.value]
+            for attribute in relation.schema
+        ],
+        "rows": [list(row) for row in relation],
+        "deleted": relation.deleted_rids(),
+        "deweys": [
+            [rid, list(index.dewey.dewey_of(rid))]
+            for rid in sorted(index.dewey.iter_rids())
+        ],
+    }
+    payload = json.dumps(document, separators=(",", ":")).encode("utf-8")
+    with gzip.open(target, "wb") as handle:
+        handle.write(payload)
+
+
+def load_index(source: Union[str, Path]) -> InvertedIndex:
+    """Restore an inverted index (and its relation) from a snapshot."""
+    try:
+        with gzip.open(source, "rb") as handle:
+            document = json.loads(handle.read().decode("utf-8"))
+    except (OSError, ValueError) as error:
+        raise SnapshotError(f"cannot read snapshot {source}: {error}") from None
+    _validate_header(document)
+    schema = Schema(
+        Attribute(name, AttributeKind(kind)) for name, kind in document["schema"]
+    )
+    relation = Relation(schema, name=document.get("name", "R"))
+    for row in document["rows"]:
+        relation.insert(row)
+    for rid in document.get("deleted", []):
+        relation.delete(int(rid))
+    ordering = DiversityOrdering(document["ordering"])
+    assignments = {
+        int(rid): tuple(int(c) for c in components)
+        for rid, components in document["deweys"]
+    }
+    dewey = _restore_dewey(relation, ordering, assignments)
+    index = InvertedIndex(relation, ordering, backend=document["backend"])
+    index._dewey = dewey  # noqa: SLF001 - restoring internal state
+    for rid in sorted(assignments):
+        _index_row(index, rid)
+    return index
+
+
+def _validate_header(document) -> None:
+    if not isinstance(document, dict):
+        raise SnapshotError("snapshot root must be an object")
+    if document.get("format") != FORMAT_NAME:
+        raise SnapshotError(
+            f"not a {FORMAT_NAME} snapshot (format={document.get('format')!r})"
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {document.get('version')!r}"
+        )
+    for key in ("schema", "rows", "ordering", "deweys", "backend"):
+        if key not in document:
+            raise SnapshotError(f"snapshot missing field {key!r}")
+
+
+def _restore_dewey(
+    relation: Relation,
+    ordering: DiversityOrdering,
+    assignments: dict[int, DeweyId],
+) -> DeweyIndex:
+    """Rebuild a DeweyIndex with the exact persisted assignment.
+
+    Internal sibling dictionaries are reconstructed from the (row value,
+    component) pairs; inconsistencies (same value mapping to two components
+    under one prefix, duplicate IDs, wrong depth) are rejected.
+    """
+    index = DeweyIndex(relation, ordering)
+    positions = [relation.schema.position(name) for name in ordering.attributes]
+    seen_ids: set[DeweyId] = set()
+    for rid, dewey in sorted(assignments.items()):
+        if not 0 <= rid < len(relation):
+            raise SnapshotError(f"snapshot references unknown rid {rid}")
+        if len(dewey) != ordering.depth:
+            raise SnapshotError(
+                f"Dewey {dewey} has depth {len(dewey)}, expected {ordering.depth}"
+            )
+        if dewey in seen_ids:
+            raise SnapshotError(f"duplicate Dewey ID {dewey} in snapshot")
+        seen_ids.add(dewey)
+        row = relation[rid]
+        prefix: tuple = ()
+        for position, component in zip(positions, dewey):
+            value = row[position]
+            known = index._dictionary.lookup(prefix, value)  # noqa: SLF001
+            if known is None:
+                _force_component(index, prefix, value, component)
+            elif known != component:
+                raise SnapshotError(
+                    f"inconsistent snapshot: value {value!r} maps to both "
+                    f"{known} and {component} under prefix {prefix}"
+                )
+            prefix = prefix + (component,)
+        index._dewey_by_rid[rid] = dewey  # noqa: SLF001
+        index._rid_by_dewey[dewey] = rid  # noqa: SLF001
+        stem = dewey[:-1]
+        current = index._uniqueness.get(stem, 0)  # noqa: SLF001
+        index._uniqueness[stem] = max(current, dewey[-1] + 1)  # noqa: SLF001
+    return index
+
+
+def _force_component(index: DeweyIndex, prefix: tuple, value, component: int) -> None:
+    """Register ``value -> component`` in the sibling dictionary, keeping the
+    reverse table dense (gaps are filled with placeholders and overwritten
+    as their real values arrive)."""
+    dictionary = index._dictionary  # noqa: SLF001
+    forward = dictionary._forward.setdefault(prefix, {})  # noqa: SLF001
+    reverse = dictionary._reverse.setdefault(prefix, [])  # noqa: SLF001
+    while len(reverse) <= component:
+        reverse.append(None)
+    if reverse[component] is not None and reverse[component] != value:
+        raise SnapshotError(
+            f"inconsistent snapshot: component {component} under {prefix} "
+            f"assigned to both {reverse[component]!r} and {value!r}"
+        )
+    forward[value] = component
+    reverse[component] = value
+
+
+def _index_row(index: InvertedIndex, rid: int) -> None:
+    """Add one restored row to the posting lists (Dewey already assigned)."""
+    from ..storage.schema import AttributeKind as AK
+    from .postings import make_posting_list
+    from .tokenize import token_set
+
+    dewey = index.dewey.dewey_of(rid)
+    relation = index.relation
+    index._all.insert(dewey)  # noqa: SLF001
+    for name, value in zip(relation.schema.names, relation[rid]):
+        key = (name, value)
+        postings = index._scalar.get(key)  # noqa: SLF001
+        if postings is None:
+            postings = make_posting_list((), index.backend)
+            index._scalar[key] = postings  # noqa: SLF001
+        postings.insert(dewey)
+    for attribute in relation.schema:
+        if attribute.kind is not AK.TEXT:
+            continue
+        for token in token_set(relation.value(rid, attribute.name)):
+            key = (attribute.name, token)
+            postings = index._token.get(key)  # noqa: SLF001
+            if postings is None:
+                postings = make_posting_list((), index.backend)
+                index._token[key] = postings  # noqa: SLF001
+            postings.insert(dewey)

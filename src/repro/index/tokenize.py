@@ -1,0 +1,31 @@
+"""Tokenisation for keyword predicates (``att CONTAINS keywords``).
+
+The paper's keyword predicates match descriptions like ``'Low miles'``; we
+use a deliberately simple, deterministic tokenizer: lowercase, alphanumeric
+runs, no stemming.  Both the indexer and the query side must use the same
+function, so it lives here.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def tokens(text: str) -> Iterator[str]:
+    """Yield normalised tokens of ``text`` in order (duplicates preserved)."""
+    yield from _TOKEN_PATTERN.findall(str(text).lower())
+
+
+def token_set(text: str) -> frozenset[str]:
+    """The distinct tokens of ``text``."""
+    return frozenset(tokens(text))
+
+
+def contains_all(text: str, keywords: str) -> bool:
+    """Keyword-containment semantics: every token of ``keywords`` occurs in
+    ``text``.  This is the reference predicate the index must agree with."""
+    have = token_set(text)
+    return all(token in have for token in tokens(keywords))

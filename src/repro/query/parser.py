@@ -1,0 +1,184 @@
+"""A small text syntax for queries.
+
+Grammar (case-insensitive keywords)::
+
+    query       := disjunction
+    disjunction := conjunction ( OR conjunction )*
+    conjunction := factor ( AND factor )*
+    factor      := '(' query ')' | predicate
+    predicate   := ident '=' literal [ weight ]
+                 | ident CONTAINS literal [ weight ]
+    weight      := '[' number ']'
+    literal     := 'single quoted' | "double quoted" | bareword | number
+
+Examples::
+
+    Make = 'Honda' AND Description CONTAINS 'Low miles'
+    (Make = 'Honda' [2] OR Make = 'Toyota') AND Year = 2007
+
+This mirrors the form-interface queries of the paper's introduction and is
+used by the examples and the workload dump format.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from .query import Query
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<lparen>\() |
+        (?P<rparen>\)) |
+        (?P<lbracket>\[) |
+        (?P<rbracket>\]) |
+        (?P<eq>=) |
+        (?P<squote>'(?:[^'\\]|\\.)*') |
+        (?P<dquote>"(?:[^"\\]|\\.)*") |
+        (?P<number>-?\d+(?:\.\d+)?) |
+        (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+class QueryParseError(ValueError):
+    """Raised on malformed query text."""
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens: list[tuple[str, str]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None or match.end() == position:
+                remainder = text[position:].strip()
+                if not remainder:
+                    break
+                raise QueryParseError(f"cannot tokenise at: {remainder[:30]!r}")
+            position = match.end()
+            for name, value in match.groupdict().items():
+                if value is not None:
+                    self.tokens.append((name, value))
+                    break
+        self.index = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def pop(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise QueryParseError(f"unexpected end of query: {self.text!r}")
+        self.index += 1
+        return token
+
+    def pop_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == "word" and token[1].lower() == keyword:
+            self.index += 1
+            return True
+        return False
+
+    def expect(self, kind: str) -> str:
+        name, value = self.pop()
+        if name != kind:
+            raise QueryParseError(f"expected {kind}, got {value!r} in {self.text!r}")
+        return value
+
+
+def parse_query(text: str) -> Query:
+    """Parse ``text`` into a :class:`Query`."""
+    stripped = text.strip()
+    if not stripped or stripped == "*":
+        return Query.match_all()
+    stream = _Tokens(text)
+    query = _parse_disjunction(stream)
+    if stream.peek() is not None:
+        raise QueryParseError(
+            f"trailing tokens after query: {stream.peek()[1]!r} in {text!r}"
+        )
+    return query
+
+
+def _parse_disjunction(stream: _Tokens) -> Query:
+    children = [_parse_conjunction(stream)]
+    while stream.pop_keyword("or"):
+        children.append(_parse_conjunction(stream))
+    if len(children) == 1:
+        return children[0]
+    return Query.disjunction(*children)
+
+
+def _parse_conjunction(stream: _Tokens) -> Query:
+    children = [_parse_factor(stream)]
+    while stream.pop_keyword("and"):
+        children.append(_parse_factor(stream))
+    if len(children) == 1:
+        return children[0]
+    return Query.conjunction(*children)
+
+
+def _parse_factor(stream: _Tokens) -> Query:
+    token = stream.peek()
+    if token is None:
+        raise QueryParseError(f"unexpected end of query: {stream.text!r}")
+    if token[0] == "lparen":
+        stream.pop()
+        inner = _parse_disjunction(stream)
+        name, value = stream.pop()
+        if name != "rparen":
+            raise QueryParseError(f"expected ')', got {value!r}")
+        return inner
+    return _parse_predicate(stream)
+
+
+def _parse_predicate(stream: _Tokens) -> Query:
+    attribute = stream.expect("word")
+    token = stream.peek()
+    if token is None:
+        raise QueryParseError(f"dangling attribute {attribute!r}")
+    if token[0] == "eq":
+        stream.pop()
+        value = _parse_literal(stream)
+        weight = _parse_weight(stream)
+        return Query.scalar(attribute, value, weight=weight)
+    if token[0] == "word" and token[1].lower() == "contains":
+        stream.pop()
+        value = _parse_literal(stream)
+        weight = _parse_weight(stream)
+        return Query.keyword(attribute, str(value), weight=weight)
+    raise QueryParseError(
+        f"expected '=' or CONTAINS after {attribute!r}, got {token[1]!r}"
+    )
+
+
+def _parse_literal(stream: _Tokens) -> Any:
+    name, value = stream.pop()
+    if name in ("squote", "dquote"):
+        body = value[1:-1]
+        return re.sub(r"\\(.)", r"\1", body)
+    if name == "number":
+        return float(value) if "." in value else int(value)
+    if name == "word":
+        return value
+    raise QueryParseError(f"expected a literal, got {value!r}")
+
+
+def _parse_weight(stream: _Tokens) -> float:
+    token = stream.peek()
+    if token is None or token[0] != "lbracket":
+        return 1.0
+    stream.pop()
+    number = stream.expect("number")
+    closing = stream.pop()
+    if closing[0] != "rbracket":
+        raise QueryParseError(f"expected ']', got {closing[1]!r}")
+    return float(number)

@@ -1,0 +1,73 @@
+"""Selection predicates (Section II-A).
+
+The paper's queries combine two predicate kinds:
+
+* **scalar**:  ``att = value``          (:class:`ScalarPredicate`)
+* **keyword**: ``att CONTAINS keywords`` (:class:`KeywordPredicate`)
+
+Each predicate knows how to test a row directly (the reference semantics used
+by the naive evaluator and the test oracles); the index layer compiles the
+same predicates to posting-list cursors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..index.tokenize import contains_all, tokens
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Base class; a predicate targets one attribute."""
+
+    attribute: str
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScalarPredicate(Predicate):
+    """``attribute = value`` with exact equality after string/num coercion."""
+
+    value: Any = None
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return row[self.attribute] == self.value
+
+    def describe(self) -> str:
+        return f"{self.attribute} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class KeywordPredicate(Predicate):
+    """``attribute CONTAINS keywords``: every keyword token occurs in the
+    attribute's text."""
+
+    keywords: str = ""
+    _tokens: tuple[str, ...] = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self):
+        parsed = tuple(dict.fromkeys(tokens(self.keywords)))
+        if not parsed:
+            raise ValueError(
+                f"keyword predicate on {self.attribute!r} has no tokens "
+                f"({self.keywords!r})"
+            )
+        object.__setattr__(self, "_tokens", parsed)
+
+    @property
+    def terms(self) -> tuple[str, ...]:
+        """Distinct normalised tokens, in query order."""
+        return self._tokens
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return contains_all(str(row[self.attribute]), self.keywords)
+
+    def describe(self) -> str:
+        return f"{self.attribute} CONTAINS {self.keywords!r}"

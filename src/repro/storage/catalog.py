@@ -1,0 +1,68 @@
+"""A tiny catalog mapping names to relations (and their default orderings).
+
+Real deployments of the paper's engine host many verticals (autos, cameras,
+auctions); each registers its relation together with the domain expert's
+diversity ordering (Definition 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from .relation import Relation
+
+
+class CatalogError(KeyError):
+    """Raised when a catalog lookup or registration fails."""
+
+
+class Catalog:
+    """Name -> (relation, default diversity ordering) registry."""
+
+    def __init__(self):
+        self._relations: dict[str, Relation] = {}
+        self._orderings: dict[str, tuple[str, ...]] = {}
+
+    def register(
+        self,
+        relation: Relation,
+        ordering: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        """Register ``relation`` under ``name`` (defaults to its own name)."""
+        key = name if name is not None else relation.name
+        if key in self._relations:
+            raise CatalogError(f"relation {key!r} already registered")
+        if ordering is not None:
+            for attribute in ordering:
+                relation.validate_attribute(attribute)
+            self._orderings[key] = tuple(ordering)
+        self._relations[key] = relation
+        return key
+
+    def unregister(self, name: str) -> None:
+        if name not in self._relations:
+            raise CatalogError(f"no relation named {name!r}")
+        del self._relations[name]
+        self._orderings.pop(name, None)
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise CatalogError(f"no relation named {name!r}") from None
+
+    def default_ordering(self, name: str) -> Optional[tuple[str, ...]]:
+        """The registered diversity ordering, or ``None`` if none was given."""
+        if name not in self._relations:
+            raise CatalogError(f"no relation named {name!r}")
+        return self._orderings.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)

@@ -1,0 +1,72 @@
+"""CSV import/export for relations.
+
+Lets examples and benchmarks persist generated listings, and lets users load
+their own inventory dumps into the engine.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from .relation import Relation
+from .schema import Attribute, AttributeKind, Schema
+
+_KIND_TAGS = {kind.value: kind for kind in AttributeKind}
+
+
+def _header_field(attribute: Attribute) -> str:
+    return f"{attribute.name}:{attribute.kind.value}"
+
+
+def _parse_header_field(field: str) -> Attribute:
+    name, _, tag = field.partition(":")
+    if not name:
+        raise ValueError(f"bad CSV header field {field!r}")
+    kind = _KIND_TAGS.get(tag or AttributeKind.CATEGORICAL.value)
+    if kind is None:
+        raise ValueError(f"unknown attribute kind {tag!r} in header {field!r}")
+    return Attribute(name, kind)
+
+
+def write_csv(relation: Relation, target: Union[str, Path, TextIO]) -> None:
+    """Write ``relation`` to CSV with a typed ``name:kind`` header row."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", newline="", encoding="utf-8") as handle:
+            write_csv(relation, handle)
+        return
+    writer = csv.writer(target)
+    writer.writerow(_header_field(a) for a in relation.schema)
+    for _, row in relation.iter_live():
+        writer.writerow(row)
+
+
+def read_csv(source: Union[str, Path, TextIO], name: str = "R") -> Relation:
+    """Read a relation previously written by :func:`write_csv`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", newline="", encoding="utf-8") as handle:
+            return read_csv(handle, name=name)
+    reader = csv.reader(source)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("empty CSV: no header row") from None
+    schema = Schema(_parse_header_field(field) for field in header)
+    relation = Relation(schema, name=name)
+    for row in reader:
+        relation.insert(row)
+    return relation
+
+
+def to_csv_string(relation: Relation) -> str:
+    """Render ``relation`` as a CSV string (round-trips via :func:`from_csv_string`)."""
+    buffer = io.StringIO()
+    write_csv(relation, buffer)
+    return buffer.getvalue()
+
+
+def from_csv_string(text: str, name: str = "R") -> Relation:
+    """Parse a relation from a CSV string produced by :func:`to_csv_string`."""
+    return read_csv(io.StringIO(text), name=name)

@@ -1,0 +1,73 @@
+"""Shared fixtures: the paper's Figure 1 database and small random helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import DiversityEngine, Query, Relation, Schema
+from repro.data.paper_example import figure1_ordering, figure1_relation
+from repro.index.inverted import InvertedIndex
+
+
+@pytest.fixture
+def cars() -> Relation:
+    """The Cars relation of Figure 1(a)."""
+    return figure1_relation()
+
+
+@pytest.fixture
+def cars_index(cars) -> InvertedIndex:
+    return InvertedIndex.build(cars, figure1_ordering())
+
+
+@pytest.fixture
+def cars_engine(cars) -> DiversityEngine:
+    return DiversityEngine.from_relation(cars, figure1_ordering())
+
+
+MAKES = ["A", "B", "C", "D"]
+MODELS = ["m1", "m2", "m3"]
+COLORS = ["red", "blue", "green"]
+WORDS = ["low", "miles", "price", "rare", "fun", "clean"]
+
+
+def random_relation(rng: random.Random, max_rows: int = 50) -> Relation:
+    """A small random car-like relation for oracle comparisons."""
+    schema = Schema.of(
+        make="categorical", model="categorical", color="categorical", desc="text"
+    )
+    rows = [
+        (
+            rng.choice(MAKES),
+            rng.choice(MODELS),
+            rng.choice(COLORS),
+            " ".join(rng.sample(WORDS, rng.randint(1, 3))),
+        )
+        for _ in range(rng.randint(1, max_rows))
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+def random_query(rng: random.Random, weighted: bool = False) -> Query:
+    """A random query in the paper's query model."""
+    kind = rng.randint(0, 3)
+    weight = (lambda: float(rng.randint(1, 3))) if weighted else (lambda: 1.0)
+    if kind == 0:
+        return Query.match_all()
+    if kind == 1:
+        return Query.scalar("make", rng.choice(MAKES), weight=weight())
+    if kind == 2:
+        return Query.conjunction(
+            Query.scalar("make", rng.choice(MAKES), weight=weight()),
+            Query.keyword("desc", rng.choice(WORDS), weight=weight()),
+        )
+    return Query.disjunction(
+        Query.scalar("model", rng.choice(MODELS), weight=weight()),
+        Query.keyword("desc", rng.choice(WORDS), weight=weight()),
+        Query.scalar("color", rng.choice(COLORS), weight=weight()),
+    )
+
+
+RANDOM_ORDERING = ["make", "model", "color", "desc"]

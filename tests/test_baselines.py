@@ -1,0 +1,102 @@
+"""Tests for the Section V baselines: Naive, Basic, MultQ."""
+
+import pytest
+
+from repro.core import baselines
+from repro.core.similarity import is_diverse, is_scored_diverse
+from repro.index.merged import MergedList
+from repro.query.evaluate import res, scored_res
+from repro.query.parser import parse_query
+
+
+class TestCollect:
+    def test_collect_all_matches_reference(self, cars, cars_index):
+        query = parse_query("Make = 'Honda'")
+        merged = MergedList(query, cars_index)
+        got = baselines.collect_all(merged)
+        expected = sorted(cars_index.dewey.dewey_of(r) for r in res(cars, query))
+        assert got == expected
+
+    def test_collect_all_scored(self, cars, cars_index):
+        query = parse_query("Make = 'Toyota' [2] OR Year = 2007")
+        merged = MergedList(query, cars_index)
+        got = baselines.collect_all_scored(merged)
+        expected = {
+            cars_index.dewey.dewey_of(r): s for r, s in scored_res(cars, query)
+        }
+        assert got == expected
+
+
+class TestNaive:
+    def test_unscored_is_diverse(self, cars, cars_index):
+        query = parse_query("Year = 2007")
+        merged = MergedList(query, cars_index)
+        got = baselines.naive_unscored(merged, 8)
+        full = [cars_index.dewey.dewey_of(r) for r in res(cars, query)]
+        assert is_diverse(got, full, 8)
+
+    def test_scored_is_diverse(self, cars, cars_index):
+        query = parse_query("Make = 'Toyota' [2] OR Description CONTAINS 'miles'")
+        merged = MergedList(query, cars_index)
+        got = baselines.naive_scored(merged, 5)
+        sres = {
+            cars_index.dewey.dewey_of(r): s for r, s in scored_res(cars, query)
+        }
+        assert is_scored_diverse(list(got), sres, 5)
+
+
+class TestBasic:
+    def test_unscored_returns_first_k_in_document_order(self, cars_index):
+        merged = MergedList(parse_query("Make = 'Honda'"), cars_index)
+        got = baselines.basic_unscored(merged, 3)
+        everything = list(cars_index.scalar_postings("Make", "Honda"))
+        assert got == everything[:3]
+
+    def test_unscored_no_diversity_guarantee(self, cars, cars_index):
+        """Basic's whole point: with many Civics up front it returns near
+        duplicates (the bottom relation of Figure 1(b))."""
+        merged = MergedList(parse_query("Description CONTAINS 'Low'"), cars_index)
+        got = baselines.basic_unscored(merged, 3)
+        models = {cars_index.dewey.values_of(d)[1] for d in got}
+        assert models == {"Civic"}
+
+    def test_scored_is_wand_topk(self, cars, cars_index):
+        query = parse_query("Make = 'Toyota' [2] OR Description CONTAINS 'miles'")
+        merged = MergedList(query, cars_index)
+        got = baselines.basic_scored(merged, 4)
+        assert sorted(got.values()) == [3.0, 3.0, 3.0, 3.0]
+
+
+class TestMultQ:
+    def test_issues_one_query_per_value_combination(self, cars, cars_index):
+        query = parse_query("Description CONTAINS 'miles'")
+        got, issued = baselines.multq_unscored(cars_index, query, 3, levels=1)
+        # One sub-query per distinct Make.
+        assert issued == 2
+        full = [cars_index.dewey.dewey_of(r) for r in res(cars, query)]
+        assert is_diverse(got, full, 3)
+
+    def test_two_levels_explode_combinatorially(self, cars, cars_index):
+        query = parse_query("Year = 2007")
+        got, issued = baselines.multq_unscored(cars_index, query, 5, levels=2)
+        # Make x Model over the *global* vocabulary: 2 makes x 8 models,
+        # including empty combos like Honda Prius (the paper's complaint).
+        assert issued == 2 * 8
+        full = [cars_index.dewey.dewey_of(r) for r in res(cars, query)]
+        assert is_diverse(got, full, 5)
+
+    def test_zero_k(self, cars_index):
+        got, issued = baselines.multq_unscored(cars_index, parse_query(""), 0)
+        assert got == [] and issued == 0
+
+    def test_scored_multq(self, cars, cars_index):
+        query = parse_query("Make = 'Toyota' [2] OR Description CONTAINS 'miles'")
+        got, issued = baselines.multq_scored(cars_index, query, 4, levels=1)
+        assert issued == 2
+        sres = {
+            cars_index.dewey.dewey_of(r): s for r, s in scored_res(cars, query)
+        }
+        assert is_scored_diverse(list(got), sres, 4)
+        # Scores are the true query scores (rewrite predicates weigh 0).
+        for dewey, score in got.items():
+            assert score == pytest.approx(sres[dewey])

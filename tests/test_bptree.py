@@ -1,0 +1,204 @@
+"""B+-tree tests: point ops, navigation, bulk load, and a model-based
+property test against a plain dict + sorted list."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.bptree import BPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.get(1) is None
+        assert tree.first() is None and tree.last() is None
+        assert tree.ceiling(0) is None and tree.floor(99) is None
+        assert list(tree.items()) == []
+
+    def test_insert_get(self):
+        tree = BPlusTree(order=4)
+        for key in [5, 1, 9, 3, 7]:
+            tree.insert(key, key * 10)
+        assert len(tree) == 5
+        assert tree.get(3) == 30
+        assert tree.get(4, "missing") == "missing"
+        assert 7 in tree and 8 not in tree
+
+    def test_overwrite_keeps_size(self):
+        tree = BPlusTree()
+        tree.insert("a", 1)
+        tree.insert("a", 2)
+        assert len(tree) == 1
+        assert tree.get("a") == 2
+
+    def test_min_order_enforced(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_tuple_keys(self):
+        tree = BPlusTree(order=4)
+        keys = [(0, 1), (0, 0), (1, 0), (0, 2)]
+        for key in keys:
+            tree.insert(key, None)
+        assert list(tree.keys()) == sorted(keys)
+
+
+class TestNavigation:
+    @pytest.fixture
+    def tree(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 10):
+            tree.insert(key, str(key))
+        return tree
+
+    def test_ceiling_exact(self, tree):
+        assert tree.ceiling(30) == (30, "30")
+
+    def test_ceiling_between(self, tree):
+        assert tree.ceiling(31) == (40, "40")
+
+    def test_ceiling_past_end(self, tree):
+        assert tree.ceiling(91) is None
+
+    def test_floor_exact(self, tree):
+        assert tree.floor(30) == (30, "30")
+
+    def test_floor_between(self, tree):
+        assert tree.floor(29) == (20, "20")
+
+    def test_floor_before_start(self, tree):
+        assert tree.floor(-1) is None
+
+    def test_first_last(self, tree):
+        assert tree.first() == (0, "0")
+        assert tree.last() == (90, "90")
+
+    def test_range_items(self, tree):
+        assert [k for k, _ in tree.items(low=25, high=55)] == [30, 40, 50]
+
+    def test_range_items_reverse(self, tree):
+        assert [k for k, _ in tree.items(low=25, high=55, reverse=True)] == [
+            50,
+            40,
+            30,
+        ]
+
+    def test_full_reverse(self, tree):
+        assert [k for k, _ in tree.items(reverse=True)] == list(range(90, -1, -10))
+
+
+class TestDelete:
+    def test_delete_present(self):
+        tree = BPlusTree(order=4)
+        for key in range(50):
+            tree.insert(key, key)
+        assert tree.delete(25)
+        assert len(tree) == 49
+        assert tree.get(25) is None
+        assert 24 in tree and 26 in tree
+
+    def test_delete_absent(self):
+        tree = BPlusTree()
+        tree.insert(1, 1)
+        assert not tree.delete(2)
+        assert len(tree) == 1
+
+    def test_delete_everything(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(64))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key)
+        random.Random(4).shuffle(keys)
+        for key in keys:
+            assert tree.delete(key)
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_navigation_after_deletes(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 40, 2):
+            tree.insert(key, key)
+        for key in range(0, 40, 4):
+            tree.delete(key)
+        remaining = [k for k, _ in tree.items()]
+        assert remaining == [k for k in range(0, 40, 2) if k % 4 != 0]
+        assert tree.ceiling(0) == (2, 2)
+
+
+class TestBulkLoad:
+    def test_matches_inserts(self):
+        pairs = [(i, i * i) for i in range(500)]
+        bulk = BPlusTree.from_sorted(pairs, order=16)
+        incremental = BPlusTree(order=16)
+        for key, value in pairs:
+            incremental.insert(key, value)
+        assert list(bulk.items()) == list(incremental.items())
+        assert len(bulk) == 500
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            BPlusTree.from_sorted([(2, None), (1, None)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            BPlusTree.from_sorted([(1, None), (1, None)])
+
+    def test_empty(self):
+        tree = BPlusTree.from_sorted([])
+        assert len(tree) == 0
+
+    def test_single(self):
+        tree = BPlusTree.from_sorted([(5, "five")])
+        assert tree.get(5) == "five"
+
+    def test_height_grows_logarithmically(self):
+        small = BPlusTree.from_sorted([(i, None) for i in range(10)], order=8)
+        large = BPlusTree.from_sorted([(i, None) for i in range(5000)], order=8)
+        assert small.height() <= large.height() <= 6
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 17, 100, 1000])
+    def test_various_sizes_navigable(self, n):
+        tree = BPlusTree.from_sorted([(i, i) for i in range(n)], order=8)
+        assert tree.ceiling(n - 1) == (n - 1, n - 1)
+        assert tree.floor(0) == (0, 0)
+        assert len(list(tree.items())) == n
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "get"]),
+            st.integers(min_value=0, max_value=60),
+        ),
+        max_size=200,
+    )
+)
+def test_model_based(operations):
+    """The tree behaves exactly like a dict, for any operation sequence."""
+    tree = BPlusTree(order=4)
+    model = {}
+    for op, key in operations:
+        if op == "insert":
+            tree.insert(key, key * 2)
+            model[key] = key * 2
+        elif op == "delete":
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert tree.get(key) == model.get(key)
+    assert len(tree) == len(model)
+    assert list(tree.items()) == sorted(model.items())
+    for probe in range(62):
+        expected_ceiling = min((k for k in model if k >= probe), default=None)
+        got = tree.ceiling(probe)
+        assert (got[0] if got else None) == expected_ceiling
+        expected_floor = max((k for k in model if k <= probe), default=None)
+        got = tree.floor(probe)
+        assert (got[0] if got else None) == expected_floor

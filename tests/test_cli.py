@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.__main__ import main
+from repro.data.paper_example import figure1_relation
+from repro.storage.csvio import write_csv
+
+
+@pytest.fixture
+def cars_csv(tmp_path):
+    path = tmp_path / "cars.csv"
+    write_csv(figure1_relation(), path)
+    return path
+
+
+@pytest.fixture
+def built_snapshot(cars_csv, tmp_path):
+    out = tmp_path / "cars.idx"
+    code = main([
+        "build", str(cars_csv),
+        "--ordering", "Make,Model,Color,Year,Description",
+        "--out", str(out),
+    ])
+    assert code == 0
+    return out
+
+
+class TestBuild:
+    def test_build_reports_stats(self, cars_csv, tmp_path, capsys):
+        out = tmp_path / "cars.idx"
+        code = main([
+            "build", str(cars_csv),
+            "--ordering", "Make,Model",
+            "--out", str(out), "--backend", "bptree",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "indexed 15 rows" in text
+        assert "backend=bptree" in text
+        assert out.exists()
+
+
+class TestQuery:
+    def test_basic_query(self, built_snapshot, capsys):
+        code = main(["query", str(built_snapshot), "Make = 'Honda'", "-k", "3"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Honda" in text
+        assert "[3 results, probe, " in text
+
+    def test_scored_query(self, built_snapshot, capsys):
+        code = main([
+            "query", str(built_snapshot),
+            "Make = 'Toyota' [2] OR Description CONTAINS 'miles'",
+            "-k", "4", "--scored", "--algorithm", "onepass",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "score" in text
+        assert "scored" in text
+
+    def test_stats_flag(self, built_snapshot, capsys):
+        code = main([
+            "query", str(built_snapshot), "Make = 'Honda'", "--stats",
+        ])
+        assert code == 0
+        assert "next_calls" in capsys.readouterr().out
+
+    def test_parse_error_exit_code(self, built_snapshot, capsys):
+        code = main(["query", str(built_snapshot), "Make = "])
+        assert code == 2
+        assert "parse error" in capsys.readouterr().err
+
+    def test_no_results(self, built_snapshot, capsys):
+        code = main(["query", str(built_snapshot), "Make = 'Tesla'"])
+        assert code == 0
+        assert "(no results)" in capsys.readouterr().out
+
+
+class TestShell:
+    def test_shell_session(self, built_snapshot, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("Make = 'Toyota'\nexit\n")
+        )
+        code = main(["shell", str(built_snapshot), "-k", "2"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "repro shell" in text
+        assert "Toyota" in text
+
+    def test_shell_blank_line_quits(self, built_snapshot, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n"))
+        assert main(["shell", str(built_snapshot)]) == 0
+
+
+class TestDemo:
+    def test_default_demo(self, capsys):
+        assert main(["demo"]) == 0
+        text = capsys.readouterr().out
+        assert "Figure 1(a)" in text
+        assert "Honda" in text
+
+    def test_demo_custom_query(self, capsys):
+        assert main(["demo", "Description CONTAINS 'Low'", "-k", "3"]) == 0
+        assert "results" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

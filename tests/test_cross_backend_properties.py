@@ -1,0 +1,87 @@
+"""Cross-backend and persistence property tests.
+
+Both posting-list backends must drive every algorithm to equivalent
+answers, and snapshots must round-trip arbitrary relations bit-exactly.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DiversityEngine
+from repro.core.ordering import DiversityOrdering
+from repro.core.similarity import is_diverse, is_scored_diverse
+from repro.index.inverted import InvertedIndex
+from repro.index.merged import MergedList
+from repro.index.snapshot import load_index, save_index
+from repro.query.evaluate import res, scored_res
+
+from .conftest import RANDOM_ORDERING, random_query, random_relation
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000_000), st.integers(1, 8))
+def test_backends_drive_identical_algorithm_outputs(seed, k):
+    """Array vs B+-tree postings: same navigation, same diverse answers."""
+    rng = random.Random(seed)
+    relation = random_relation(rng, max_rows=35)
+    query = random_query(rng, weighted=True)
+    results = {}
+    for backend in ("array", "bptree"):
+        index = InvertedIndex.build(
+            relation, DiversityOrdering(RANDOM_ORDERING), backend=backend
+        )
+        engine = DiversityEngine(index)
+        results[backend] = (
+            engine.search(query, k=k, algorithm="probe").deweys,
+            engine.search(query, k=k, algorithm="onepass").deweys,
+            engine.search(query, k=k, algorithm="probe", scored=True).deweys,
+        )
+    assert results["array"] == results["bptree"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000_000))
+def test_snapshot_roundtrip_random_relations(tmp_path_factory, seed):
+    rng = random.Random(seed)
+    relation = random_relation(rng, max_rows=30)
+    index = InvertedIndex.build(relation, DiversityOrdering(RANDOM_ORDERING))
+    # Random deletions before persisting.
+    for rid in rng.sample(range(len(relation)), k=len(relation) // 4):
+        relation.delete(rid)
+        index.remove(rid)
+    path = tmp_path_factory.mktemp("snapshots") / f"r{seed}.idx"
+    save_index(index, path)
+    restored = load_index(path)
+    assert restored.dewey.all_deweys() == index.dewey.all_deweys()
+    assert restored.relation.deleted_rids() == relation.deleted_rids()
+    for rid, _ in relation.iter_live():
+        assert restored.dewey.dewey_of(rid) == index.dewey.dewey_of(rid)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000_000), st.integers(1, 6))
+def test_pagination_partitions_results_under_deletions(seed, page_size):
+    """Pages never overlap, cover everything live, and each page is diverse
+    over the remaining universe — even after random deletions."""
+    from repro.core.pagination import DiversePaginator
+
+    rng = random.Random(seed)
+    relation = random_relation(rng, max_rows=30)
+    engine = DiversityEngine.from_relation(relation, RANDOM_ORDERING)
+    for rid in rng.sample(range(len(relation)), k=len(relation) // 4):
+        engine.delete(rid)
+    query = random_query(rng)
+    full = {engine.index.dewey.dewey_of(r) for r in res(relation, query)}
+    paginator = DiversePaginator(engine, query, page_size=page_size)
+    seen: set = set()
+    remaining = set(full)
+    for page in paginator.pages():
+        deweys = set(page.deweys)
+        assert not deweys & seen
+        assert is_diverse(page.deweys, remaining, page_size)
+        seen |= deweys
+        remaining -= deweys
+    assert seen == full

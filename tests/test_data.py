@@ -1,0 +1,164 @@
+"""Tests for the synthetic Autos generator and the Figure 4 workloads."""
+
+import random
+
+import pytest
+
+from repro.data.autos import (
+    MAKES_MODELS,
+    AutosSpec,
+    autos_ordering,
+    autos_schema,
+    generate_autos,
+    rare_models,
+)
+from repro.data.paper_example import FIGURE1_ROWS, figure1_relation
+from repro.data.workload import WorkloadGenerator, WorkloadSpec
+from repro.query.evaluate import res, selectivity
+
+
+class TestAutosGenerator:
+    def test_deterministic(self):
+        a = generate_autos(rows=500, seed=7)
+        b = generate_autos(rows=500, seed=7)
+        assert list(a) == list(b)
+
+    def test_seed_changes_data(self):
+        a = generate_autos(rows=500, seed=7)
+        b = generate_autos(rows=500, seed=8)
+        assert list(a) != list(b)
+
+    def test_schema(self):
+        relation = generate_autos(rows=10, seed=1)
+        assert relation.schema == autos_schema()
+        assert autos_ordering().depth == 6
+
+    def test_row_count(self):
+        assert len(generate_autos(rows=1234, seed=1)) == 1234
+
+    def test_models_belong_to_makes(self):
+        relation = generate_autos(rows=2000, seed=3)
+        for row in relation:
+            make, model = row[0], row[1]
+            assert model in MAKES_MODELS[make]
+
+    def test_make_skew(self):
+        """Zipf weighting: the top make dominates the last one."""
+        relation = generate_autos(rows=20_000, seed=2)
+        counts = {}
+        for row in relation:
+            counts[row[0]] = counts.get(row[0], 0) + 1
+        ordered = list(MAKES_MODELS)
+        assert counts[ordered[0]] > 3 * counts.get(ordered[-1], 1)
+
+    def test_rare_models_exist(self):
+        """Every vertical needs its S2000: rare listings must be present so
+        diversity can surface them."""
+        relation = generate_autos(rows=30_000, seed=4)
+        rare = rare_models(relation)
+        assert rare  # at least one genuinely rare model
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AutosSpec(rows=-1)
+        with pytest.raises(ValueError):
+            AutosSpec(makes=0)
+        with pytest.raises(ValueError):
+            generate_autos(AutosSpec(rows=5), rows=5)
+
+    def test_makes_limit(self):
+        relation = generate_autos(rows=1000, seed=5, makes=3)
+        observed = {row[0] for row in relation}
+        assert observed <= set(list(MAKES_MODELS)[:3])
+
+
+class TestFigure1Data:
+    def test_fifteen_rows(self):
+        assert len(FIGURE1_ROWS) == 15
+        assert len(figure1_relation()) == 15
+
+    def test_fresh_copies(self):
+        a = figure1_relation()
+        b = figure1_relation()
+        a.insert(("Tesla", "ModelS", "Red", 2008, "new"))
+        assert len(b) == 15
+
+
+class TestWorkloads:
+    def test_deterministic(self):
+        relation = generate_autos(rows=500, seed=1)
+        spec = WorkloadSpec(queries=20, predicates=2, seed=9)
+        a = WorkloadGenerator(relation, spec).materialise()
+        b = WorkloadGenerator(relation, spec).materialise()
+        assert [q.describe() for q in a] == [q.describe() for q in b]
+
+    def test_query_count(self):
+        relation = generate_autos(rows=200, seed=1)
+        queries = WorkloadGenerator(relation, queries=7, predicates=1).materialise()
+        assert len(queries) == 7
+
+    def test_zero_predicates_is_match_all(self):
+        relation = generate_autos(rows=100, seed=1)
+        queries = WorkloadGenerator(relation, queries=3, predicates=0).materialise()
+        assert all(q.is_match_all() for q in queries)
+
+    def test_predicate_count(self):
+        relation = generate_autos(rows=300, seed=1)
+        queries = WorkloadGenerator(relation, queries=10, predicates=3).materialise()
+        for query in queries:
+            assert len(list(query.leaves())) == 3
+
+    def test_disjunctive_flag(self):
+        relation = generate_autos(rows=300, seed=1)
+        queries = WorkloadGenerator(
+            relation, queries=5, predicates=2, disjunctive=True
+        ).materialise()
+        from repro.query.query import OR
+
+        assert all(q.kind == OR for q in queries)
+
+    def test_weighted_flag(self):
+        relation = generate_autos(rows=300, seed=1)
+        queries = WorkloadGenerator(
+            relation, queries=10, predicates=2, weighted=True, seed=3
+        ).materialise()
+        weights = {leaf.weight for q in queries for leaf in q.leaves()}
+        assert len(weights) > 1
+
+    def test_selectivity_steering(self):
+        """Target 0.8 workloads should measure clearly higher selectivity
+        than target 0.05 workloads."""
+        relation = generate_autos(rows=2000, seed=1)
+        low = WorkloadGenerator(
+            relation, queries=15, predicates=1, selectivity=0.05, seed=2
+        ).materialise()
+        high = WorkloadGenerator(
+            relation, queries=15, predicates=1, selectivity=0.8, seed=2
+        ).materialise()
+        mean = lambda qs: sum(selectivity(relation, q) for q in qs) / len(qs)
+        assert mean(high) > mean(low) + 0.2
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(predicates=6)
+        with pytest.raises(ValueError):
+            WorkloadSpec(selectivity=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(k=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(queries=-1)
+
+    def test_spec_or_overrides_not_both(self):
+        relation = generate_autos(rows=50, seed=1)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(relation, WorkloadSpec(), queries=5)
+
+    def test_queries_actually_match_something(self):
+        """Random predicates are drawn from the data, so most queries should
+        have at least one result at moderate selectivity."""
+        relation = generate_autos(rows=1000, seed=6)
+        queries = WorkloadGenerator(
+            relation, queries=20, predicates=1, selectivity=0.5, seed=4
+        ).materialise()
+        nonempty = sum(1 for q in queries if res(relation, q))
+        assert nonempty >= 15

@@ -1,0 +1,194 @@
+"""Unit tests for Dewey identifier arithmetic (Section III-B operators)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import dewey as dw
+
+
+class TestMakeDewey:
+    def test_builds_tuple(self):
+        assert dw.make_dewey([0, 3, 1]) == (0, 3, 1)
+
+    def test_coerces_to_int(self):
+        assert dw.make_dewey(["2", 1.0]) == (2, 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            dw.make_dewey([0, -1])
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            dw.make_dewey([dw.MAX_COMPONENT + 1])
+
+
+class TestBounds:
+    def test_zeros(self):
+        assert dw.zeros(3) == (0, 0, 0)
+
+    def test_maxes(self):
+        assert dw.maxes(2) == (dw.MAX_COMPONENT,) * 2
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ValueError):
+            dw.zeros(0)
+        with pytest.raises(ValueError):
+            dw.maxes(0)
+
+
+class TestNextId:
+    def test_paper_example(self):
+        """nextId(0.3.1.0.0, 2, LEFT) = 0.4.0.0.0 (Section III-B)."""
+        assert dw.next_id((0, 3, 1, 0, 0), 2, dw.LEFT) == (0, 4, 0, 0, 0)
+
+    def test_left_at_level_one(self):
+        assert dw.next_id((0, 0, 0), 1, dw.LEFT) == (1, 0, 0)
+
+    def test_left_at_last_level(self):
+        assert dw.next_id((2, 5, 7), 3, dw.LEFT) == (2, 5, 8)
+
+    def test_right_decrements_and_fills_max(self):
+        assert dw.next_id((0, 3, 1, 0, 0), 2, dw.RIGHT) == (
+            0,
+            2,
+            dw.MAX_COMPONENT,
+            dw.MAX_COMPONENT,
+            dw.MAX_COMPONENT,
+        )
+
+    def test_right_at_zero_component_is_none(self):
+        assert dw.next_id((0, 0, 5), 2, dw.RIGHT) is None
+
+    def test_level_out_of_range(self):
+        with pytest.raises(ValueError):
+            dw.next_id((0, 0), 3, dw.LEFT)
+        with pytest.raises(ValueError):
+            dw.next_id((0, 0), 0, dw.LEFT)
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            dw.next_id((0, 0), 1, dw.MIDDLE)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=6),
+        st.data(),
+    )
+    def test_left_is_strictly_greater(self, components, data):
+        dewey = tuple(components)
+        level = data.draw(st.integers(min_value=1, max_value=len(dewey)))
+        assert dw.next_id(dewey, level, dw.LEFT) > dewey
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=6),
+        st.data(),
+    )
+    def test_right_is_strictly_smaller_or_none(self, components, data):
+        dewey = tuple(components)
+        level = data.draw(st.integers(min_value=1, max_value=len(dewey)))
+        result = dw.next_id(dewey, level, dw.RIGHT)
+        if dewey[level - 1] == 0:
+            assert result is None
+        else:
+            assert result < dewey
+
+
+class TestSuccessorPredecessor:
+    def test_successor(self):
+        assert dw.successor((0, 1, 2)) == (0, 1, 3)
+
+    def test_predecessor_simple(self):
+        assert dw.predecessor((0, 1, 2)) == (0, 1, 1)
+
+    def test_predecessor_borrows(self):
+        assert dw.predecessor((1, 0, 0)) == (
+            0,
+            dw.MAX_COMPONENT,
+            dw.MAX_COMPONENT,
+        )
+
+    def test_predecessor_of_zeros_is_none(self):
+        assert dw.predecessor((0, 0, 0)) is None
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=5))
+    def test_successor_strictly_increases(self, components):
+        dewey = tuple(components)
+        assert dw.successor(dewey) > dewey
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=5))
+    def test_no_id_between_dewey_and_successor(self, components):
+        """successor is the immediate next id of the same depth."""
+        dewey = tuple(components)
+        nxt = dw.successor(dewey)
+        assert nxt[:-1] == dewey[:-1] and nxt[-1] == dewey[-1] + 1
+
+
+class TestPrefixesAndRegions:
+    def test_is_prefix(self):
+        assert dw.is_prefix((0, 2), (0, 2, 1, 0))
+        assert not dw.is_prefix((0, 1), (0, 2, 1, 0))
+        assert dw.is_prefix((), (0, 2))
+
+    def test_prefix_longer_than_id(self):
+        assert not dw.is_prefix((0, 1, 2, 3), (0, 1))
+
+    def test_common_prefix_len(self):
+        assert dw.common_prefix_len((0, 1, 2), (0, 1, 5)) == 2
+        assert dw.common_prefix_len((3, 1), (0, 1)) == 0
+        assert dw.common_prefix_len((1, 2), (1, 2)) == 2
+
+    def test_region_bounds(self):
+        low, high = dw.region_bounds((0,), 3)
+        assert low == (0, 0, 0)
+        assert high == (0, dw.MAX_COMPONENT, dw.MAX_COMPONENT)
+
+    def test_region_bounds_root(self):
+        low, high = dw.region_bounds((), 2)
+        assert low == dw.zeros(2) and high == dw.maxes(2)
+
+    def test_region_bounds_rejects_long_prefix(self):
+        with pytest.raises(ValueError):
+            dw.region_bounds((0, 1, 2), 2)
+
+    def test_in_region(self):
+        assert dw.in_region((0, 2, 1), (0, 2))
+        assert not dw.in_region((0, 3, 1), (0, 2))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=9), min_size=0, max_size=3),
+        st.lists(st.integers(min_value=0, max_value=9), min_size=4, max_size=4),
+    )
+    def test_region_bounds_bracket_members(self, prefix, suffix):
+        depth = len(prefix) + 4
+        member = tuple(prefix) + tuple(suffix)
+        low, high = dw.region_bounds(tuple(prefix), depth)
+        assert low <= member <= high
+
+
+class TestFormatting:
+    def test_format(self):
+        assert dw.format_dewey((0, 3, dw.MAX_COMPONENT)) == "0.3.*"
+
+    def test_parse(self):
+        assert dw.parse_dewey("0.3.*") == (0, 3, dw.MAX_COMPONENT)
+
+    @given(st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=6))
+    def test_roundtrip(self, components):
+        dewey = tuple(components)
+        assert dw.parse_dewey(dw.format_dewey(dewey)) == dewey
+
+
+class TestDirections:
+    def test_toggle(self):
+        assert dw.toggle(dw.LEFT) == dw.RIGHT
+        assert dw.toggle(dw.RIGHT) == dw.LEFT
+
+    def test_toggle_middle_rejected(self):
+        with pytest.raises(ValueError):
+            dw.toggle(dw.MIDDLE)
+
+    def test_validate_direction(self):
+        dw.validate_direction(dw.LEFT)
+        dw.validate_direction(dw.RIGHT)
+        with pytest.raises(ValueError):
+            dw.validate_direction("UP")

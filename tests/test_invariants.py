@@ -1,0 +1,168 @@
+"""Deep invariant tests: the paper's stated invariants, checked *during*
+algorithm execution (not just on the outputs)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dewey import LEFT, MIDDLE, RIGHT, in_region, zeros
+from repro.core.onepass import OnePassTree, one_pass_unscored
+from repro.core.ordering import DiversityOrdering
+from repro.core.probe_node import ProbeNode
+from repro.index.inverted import InvertedIndex
+from repro.index.merged import MergedList
+
+from .conftest import RANDOM_ORDERING, random_query, random_relation
+
+
+def check_probe_tree(node: ProbeNode, members: set, tentatives: set) -> None:
+    """Recursively verify the probing structure's bookkeeping:
+
+    * ``count`` equals the number of confirmed leaves below,
+    * ``tentative_count`` likewise for tentative leaves,
+    * every leaf lies inside its ancestors' regions.
+    """
+    if node.level == node.depth:
+        if node.is_tentative:
+            tentatives.add(node.prefix)
+        else:
+            members.add(node.prefix)
+        return
+    child_members: set = set()
+    child_tentatives: set = set()
+    for component, child in node.children.items():
+        assert child.prefix == node.prefix + (component,)
+        check_probe_tree(child, child_members, child_tentatives)
+    for leaf in child_members | child_tentatives:
+        assert in_region(leaf, node.prefix)
+    assert node.count == len(child_members)
+    assert node.tentative_count == len(child_tentatives)
+    members |= child_members
+    tentatives |= child_tentatives
+
+
+def check_paper_invariant(node: ProbeNode, all_ids) -> None:
+    """Section IV-A: "Whenever id ∈ node, either id belongs to some child of
+    node in our data structure, or node.edge[LEFT] <= id <= node.edge[RIGHT]"
+    — checked for every match of the query against every structure node."""
+    if node.level == node.depth:
+        return
+    for dewey in all_ids:
+        if not in_region(dewey, node.prefix):
+            continue
+        child = node.children.get(dewey[node.level])
+        inside_child = child is not None and in_region(dewey, child.prefix)
+        in_gap = (
+            node.edge_left is not None
+            and node.edge_right is not None
+            and node.edge_left <= dewey <= node.edge_right
+        )
+        assert inside_child or in_gap, (
+            f"{dewey} lost by node {node.prefix}: not in any child and "
+            f"outside [{node.edge_left}, {node.edge_right}]"
+        )
+    for child in node.children.values():
+        check_paper_invariant(child, all_ids)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000_000), st.integers(1, 8))
+def test_probe_structure_invariants_throughout_execution(seed, k):
+    """Run the unscored probing driver step by step, checking the structure
+    and the paper's containment invariant after every add."""
+    rng = random.Random(seed)
+    relation = random_relation(rng, max_rows=35)
+    index = InvertedIndex.build(relation, DiversityOrdering(RANDOM_ORDERING))
+    query = random_query(rng)
+    merged = MergedList(query, index)
+    from repro.core.baselines import collect_all
+
+    all_ids = collect_all(MergedList(query, index))
+    first = merged.next(zeros(merged.depth), LEFT)
+    if first is None:
+        return
+    root = ProbeNode(first, 0, LEFT)
+    steps = 0
+    while root.num_items() < k and steps < 4 * k + 20:
+        steps += 1
+        request = root.get_probe_id()
+        if request is None:
+            break
+        probe_id, direction, owner = request
+        found = merged.next(probe_id, direction)
+        if found is None or not in_region(found, owner.prefix):
+            owner.close_frontier()
+            continue
+        root.add(found, direction)
+        members: set = set()
+        tentatives: set = set()
+        check_probe_tree(root, members, tentatives)
+        assert members <= set(all_ids)
+        check_paper_invariant(root, all_ids)
+    assert root.num_items() == min(k, len(all_ids))
+
+
+def check_onepass_tree(tree: OnePassTree) -> None:
+    """Verify OnePassTree's incremental counters against its leaf set."""
+    leaves = tree.scored_results()
+    from collections import Counter, defaultdict
+
+    expected_counts: Counter = Counter()
+    expected_scores: dict = defaultdict(Counter)
+    for dewey, score in leaves.items():
+        for level in range(tree.depth + 1):
+            expected_counts[dewey[:level]] += 1
+            expected_scores[dewey[:level]][score] += 1
+    for prefix, count in expected_counts.items():
+        assert tree._counts[prefix] == count
+        assert dict(expected_scores[prefix]) == tree._score_counts[prefix]
+    # No stale entries beyond the root.
+    for prefix, count in tree._counts.items():
+        if prefix != ():
+            assert count == expected_counts[prefix] > 0
+    for prefix, bucket in tree._children.items():
+        for component in bucket:
+            assert expected_counts.get(prefix + (component,), 0) > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000_000))
+def test_onepass_tree_bookkeeping(seed):
+    """Random add/remove sequences keep every counter consistent."""
+    rng = random.Random(seed)
+    tree = OnePassTree(depth=4, k=6)
+    live = 0
+    for _ in range(rng.randint(1, 60)):
+        if live and rng.random() < 0.4:
+            victim = tree.remove()
+            assert victim is not None
+            live -= 1
+        else:
+            dewey = (
+                rng.randint(0, 2), rng.randint(0, 2),
+                rng.randint(0, 2), rng.randint(0, 4),
+            )
+            before = tree.num_items()
+            tree.add(dewey, score=float(rng.randint(1, 3)))
+            live += tree.num_items() - before
+        check_onepass_tree(tree)
+        assert tree.num_items() == live
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000_000), st.integers(1, 8))
+def test_onepass_remove_always_evicts_minimum_score(seed, k):
+    rng = random.Random(seed)
+    tree = OnePassTree(depth=3, k=k)
+    for _ in range(rng.randint(1, 30)):
+        tree.add(
+            (rng.randint(0, 2), rng.randint(0, 2), rng.randint(0, 9)),
+            score=float(rng.randint(1, 3)),
+        )
+    while tree.num_items():
+        scores = tree.scored_results()
+        minimum = min(scores.values())
+        victim = tree.remove()
+        assert scores[victim] == minimum

@@ -1,0 +1,234 @@
+"""Tests for merged-list navigation: cursors, bidirectional next, scored
+variants — all validated against brute-force reference evaluation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dewey import LEFT, RIGHT, maxes, predecessor, successor, zeros
+from repro.index.inverted import InvertedIndex
+from repro.index.merged import (
+    AndCursor,
+    LeafCursor,
+    MergedList,
+    OrCursor,
+    compile_cursor,
+)
+from repro.index.postings import ArrayPostingList
+from repro.query.evaluate import res, scored_res
+from repro.query.parser import parse_query
+from repro.query.query import Query
+
+from .conftest import RANDOM_ORDERING, random_query, random_relation
+
+
+def build(relation):
+    from repro.core.ordering import DiversityOrdering
+
+    return InvertedIndex.build(relation, DiversityOrdering(RANDOM_ORDERING))
+
+
+class TestCursors:
+    def test_leaf_cursor(self):
+        cursor = LeafCursor(ArrayPostingList([(0, 1), (2, 3), (5, 0)]))
+        assert cursor.next((0, 0), LEFT) == (0, 1)
+        assert cursor.next((3, 0), LEFT) == (5, 0)
+        assert cursor.next((9, 9), LEFT) is None
+        assert cursor.next((3, 0), RIGHT) == (2, 3)
+        assert cursor.next((0, 0), RIGHT) is None
+
+    def test_and_cursor_leapfrog(self):
+        a = LeafCursor(ArrayPostingList([(0,), (2,), (4,), (6,)]))
+        b = LeafCursor(ArrayPostingList([(1,), (2,), (5,), (6,)]))
+        both = AndCursor([a, b])
+        assert both.next((0,), LEFT) == (2,)
+        assert both.next((3,), LEFT) == (6,)
+        assert both.next((7,), LEFT) is None
+        assert both.next((5,), RIGHT) == (2,)
+
+    def test_and_cursor_empty_child(self):
+        cursor = AndCursor(
+            [LeafCursor(ArrayPostingList([(1,)])), LeafCursor(ArrayPostingList([]))]
+        )
+        assert cursor.next((0,), LEFT) is None
+
+    def test_or_cursor(self):
+        a = LeafCursor(ArrayPostingList([(0,), (4,)]))
+        b = LeafCursor(ArrayPostingList([(2,), (6,)]))
+        either = OrCursor([a, b])
+        assert either.next((1,), LEFT) == (2,)
+        assert either.next((0,), LEFT) == (0,)
+        assert either.next((5,), RIGHT) == (4,)
+        assert either.next((7,), LEFT) is None
+
+    def test_constructors_reject_empty(self):
+        with pytest.raises(ValueError):
+            AndCursor([])
+        with pytest.raises(ValueError):
+            OrCursor([])
+
+    def test_bad_direction_rejected(self):
+        cursor = LeafCursor(ArrayPostingList([(1,)]))
+        with pytest.raises(ValueError):
+            cursor.next((0,), "MIDDLE")
+
+
+def scan_all(merged):
+    out = []
+    cur = merged.first()
+    while cur is not None:
+        out.append(cur)
+        cur = merged.next(successor(cur))
+    return out
+
+
+def scan_all_right(merged):
+    out = []
+    cur = merged.next(maxes(merged.depth), RIGHT)
+    while cur is not None:
+        out.append(cur)
+        prev = predecessor(cur)
+        if prev is None:
+            break
+        cur = merged.next(prev, RIGHT)
+    return out
+
+
+class TestMergedListOnFigure1:
+    def test_scan_matches_reference(self, cars, cars_index):
+        for text in [
+            "Make = 'Honda'",
+            "Year = 2007 AND Description CONTAINS 'miles'",
+            "Make = 'Toyota' OR Description CONTAINS 'rare'",
+            "Description CONTAINS 'low miles'",
+        ]:
+            query = parse_query(text)
+            merged = MergedList(query, cars_index)
+            expected = sorted(
+                cars_index.dewey.dewey_of(rid) for rid in res(cars, query)
+            )
+            assert scan_all(merged) == expected
+
+    def test_right_scan_is_reverse(self, cars, cars_index):
+        query = parse_query("Year = 2007")
+        merged = MergedList(query, cars_index)
+        assert scan_all_right(merged) == list(reversed(scan_all(merged)))
+
+    def test_contains(self, cars, cars_index):
+        query = parse_query("Make = 'Toyota'")
+        merged = MergedList(query, cars_index)
+        toyota = cars_index.dewey.dewey_of(11)
+        honda = cars_index.dewey.dewey_of(0)
+        assert merged.contains(toyota)
+        assert not merged.contains(honda)
+
+    def test_score(self, cars, cars_index):
+        query = parse_query("Make = 'Toyota' [2] OR Description CONTAINS 'miles'")
+        merged = MergedList(query, cars_index)
+        toyota_miles = cars_index.dewey.dewey_of(11)
+        honda_miles = cars_index.dewey.dewey_of(0)
+        assert merged.score(toyota_miles) == 3.0
+        assert merged.score(honda_miles) == 1.0
+
+    def test_stats_counted(self, cars_index):
+        merged = MergedList(parse_query("Make = 'Honda'"), cars_index)
+        merged.first()
+        merged.next(zeros(merged.depth))
+        assert merged.next_calls == 2
+        merged.reset_stats()
+        assert merged.next_calls == 0
+
+    def test_match_all_query(self, cars, cars_index):
+        merged = MergedList(Query.match_all(), cars_index)
+        assert len(scan_all(merged)) == len(cars)
+
+
+class TestScoredNavigation:
+    @pytest.fixture
+    def merged(self, cars_index):
+        query = parse_query(
+            "Make = 'Toyota' [2] OR Description CONTAINS 'miles' [1] OR Year = 2006 [1]"
+        )
+        return MergedList(query, cars_index)
+
+    def brute(self, merged, theta, strict):
+        matches = scan_all(merged)
+        keep = []
+        for dewey in matches:
+            score = merged.score(dewey)
+            if score > theta if strict else score >= theta:
+                keep.append(dewey)
+        return keep
+
+    @pytest.mark.parametrize("theta", [0.5, 1.0, 2.0, 3.0, 4.0])
+    @pytest.mark.parametrize("strict", [False, True])
+    def test_next_scored_left_matches_brute(self, merged, theta, strict):
+        expected = self.brute(merged, theta, strict)
+        got = []
+        cur = merged.next_scored(zeros(merged.depth), LEFT, theta, strict)
+        while cur is not None:
+            got.append(cur)
+            cur = merged.next_scored(successor(cur), LEFT, theta, strict)
+        assert got == expected
+
+    @pytest.mark.parametrize("theta", [1.0, 2.0, 3.0])
+    def test_next_scored_right_matches_brute(self, merged, theta):
+        expected = list(reversed(self.brute(merged, theta, False)))
+        got = []
+        cur = merged.next_scored(maxes(merged.depth), RIGHT, theta, False)
+        while cur is not None:
+            got.append(cur)
+            prev = predecessor(cur)
+            if prev is None:
+                break
+            cur = merged.next_scored(prev, RIGHT, theta, False)
+        assert got == expected
+
+    def test_next_scored_above_max_is_none(self, merged):
+        assert merged.next_scored(zeros(merged.depth), LEFT, 99.0) is None
+
+    def test_next_onepass_scored_semantics(self, merged):
+        """Smallest id with score > theta, or score == theta beyond skip."""
+        matches = scan_all(merged)
+        theta = 2.0
+        skip = matches[len(matches) // 2]
+        expected = None
+        for dewey in matches:
+            score = merged.score(dewey)
+            if score > theta or (score == theta and dewey >= skip):
+                expected = (dewey, score)
+                break
+        assert merged.next_onepass_scored(zeros(merged.depth), skip, theta) == expected
+
+    def test_next_onepass_scored_none_skip_means_strict(self, merged):
+        theta = merged.max_score()
+        assert merged.next_onepass_scored(zeros(merged.depth), None, theta) is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_randomized_navigation_against_reference(seed):
+    """Scans (both directions) and scored filtering agree with full-scan
+    evaluation on random relations and queries."""
+    rng = random.Random(seed)
+    relation = random_relation(rng, max_rows=30)
+    index = build(relation)
+    query = random_query(rng, weighted=True)
+    merged = MergedList(query, index)
+    expected = sorted(index.dewey.dewey_of(rid) for rid in res(relation, query))
+    assert scan_all(merged) == expected
+    assert scan_all_right(merged) == list(reversed(expected))
+    scored = {
+        index.dewey.dewey_of(rid): score for rid, score in scored_res(relation, query)
+    }
+    if scored:
+        theta = sorted(scored.values())[len(scored) // 2]
+        expected_tier = [d for d in expected if scored[d] >= theta]
+        got = []
+        cur = merged.next_scored(zeros(merged.depth), LEFT, theta)
+        while cur is not None:
+            got.append(cur)
+            cur = merged.next_scored(successor(cur), LEFT, theta)
+        assert got == expected_tier

@@ -1,0 +1,250 @@
+"""Tests for the one-pass algorithms (Section III): the OnePassTree data
+structure, the skip rule, and oracle equivalence on randomized inputs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dewey import LEFT, successor
+from repro.core.onepass import OnePassTree, one_pass_scored, one_pass_unscored
+from repro.core.ordering import DiversityOrdering
+from repro.core.similarity import is_diverse, is_scored_diverse
+from repro.index.inverted import InvertedIndex
+from repro.index.merged import MergedList
+from repro.query.evaluate import res, scored_res
+from repro.query.parser import parse_query
+
+from .conftest import RANDOM_ORDERING, random_query, random_relation
+
+
+class TestOnePassTree:
+    def test_add_and_counts(self):
+        tree = OnePassTree(depth=3, k=5)
+        tree.add((0, 0, 0))
+        tree.add((0, 1, 0))
+        tree.add((1, 0, 0))
+        assert tree.num_items() == 3
+        assert tree.results() == [(0, 0, 0), (0, 1, 0), (1, 0, 0)]
+
+    def test_add_duplicate_ignored(self):
+        tree = OnePassTree(depth=2, k=3)
+        tree.add((0, 0))
+        tree.add((0, 0))
+        assert tree.num_items() == 1
+
+    def test_add_wrong_depth(self):
+        tree = OnePassTree(depth=3, k=3)
+        with pytest.raises(ValueError):
+            tree.add((0, 0))
+
+    def test_remove_picks_most_redundant(self):
+        tree = OnePassTree(depth=3, k=3)
+        tree.add((0, 0, 0))
+        tree.add((0, 0, 1))  # two under the same branch
+        tree.add((1, 0, 0))
+        victim = tree.remove()
+        assert victim in [(0, 0, 0), (0, 0, 1)]
+        assert tree.num_items() == 2
+
+    def test_remove_respects_scores(self):
+        tree = OnePassTree(depth=2, k=3)
+        tree.add((0, 0), score=5.0)
+        tree.add((0, 1), score=5.0)
+        tree.add((1, 0), score=1.0)
+        # The only minimum-score leaf is (1, 0), despite (0, *) crowding.
+        assert tree.remove() == (1, 0)
+
+    def test_remove_empty(self):
+        assert OnePassTree(depth=2, k=1).remove() is None
+
+    def test_min_score(self):
+        tree = OnePassTree(depth=2, k=2)
+        with pytest.raises(ValueError):
+            tree.min_score()
+        tree.add((0, 0), score=2.0)
+        tree.add((1, 0), score=7.0)
+        assert tree.min_score() == 2.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            OnePassTree(depth=0, k=1)
+        with pytest.raises(ValueError):
+            OnePassTree(depth=1, k=-1)
+
+    def test_skip_terminates_when_nothing_helps(self):
+        """k singletons in distinct branches: no future item can help."""
+        tree = OnePassTree(depth=2, k=2)
+        tree.add((0, 0))
+        tree.add((1, 0))
+        assert tree.get_skip_id((1, 0)) is None
+
+    def test_skip_jumps_over_saturated_branch(self):
+        """Two kept under one branch: a *new* branch helps, deeper items in
+        the current branch do not -> skip to the next branch."""
+        tree = OnePassTree(depth=3, k=2)
+        tree.add((0, 0, 0))
+        tree.add((0, 1, 0))
+        skip = tree.get_skip_id((0, 1, 0))
+        assert skip == (1, 0, 0)
+
+    def test_skip_stays_inside_underfull_branch(self):
+        """A donor elsewhere means deeper insertions still help."""
+        tree = OnePassTree(depth=2, k=3)
+        tree.add((0, 0))
+        tree.add((0, 1))
+        tree.add((1, 0))
+        # Scanning inside branch 1; branch 0 holds 2 >= 0+2... donor for
+        # *new sibling branches*, and for deeper items of branch 1 only if
+        # count(0) >= count(1) + 2, which is 2 >= 3: false -> new branch only.
+        skip = tree.get_skip_id((1, 0))
+        assert skip == (2, 0)
+
+    def test_skip_successor_when_ancestor_donor_strong(self):
+        tree = OnePassTree(depth=2, k=4)
+        tree.add((0, 0))
+        tree.add((0, 1))
+        tree.add((0, 2))
+        tree.add((1, 0))
+        # Branch 0 has 3 >= 1+2: anything below branch 1 helps.
+        assert tree.get_skip_id((1, 0)) == (1, 1)
+
+
+def oracle_deweys(relation, index, query):
+    return [index.dewey.dewey_of(rid) for rid in res(relation, query)]
+
+
+class TestOnePassOnFigure1:
+    def test_low_query_narrative(self, cars, cars_index):
+        """Section III-C: query 'Low', k=3 -> one Civic and two distinct
+        Toyota models (or two Civic colors and one Toyota; both diverse —
+        the scan direction makes Hondas first)."""
+        query = parse_query("Description CONTAINS 'Low'")
+        merged = MergedList(query, cars_index)
+        got = one_pass_unscored(merged, 3)
+        full = oracle_deweys(cars, cars_index, query)
+        assert is_diverse(got, full, 3)
+        makes = {d[0] for d in got}
+        assert len(makes) == 2  # both Honda and Toyota represented
+
+    def test_match_all(self, cars, cars_index):
+        merged = MergedList(parse_query(""), cars_index)
+        got = one_pass_unscored(merged, 5)
+        assert is_diverse(got, list(cars_index.all_postings()), 5)
+
+    def test_k_zero(self, cars_index):
+        merged = MergedList(parse_query(""), cars_index)
+        assert one_pass_unscored(merged, 0) == []
+        assert one_pass_scored(merged, 0) == {}
+
+    def test_fewer_matches_than_k(self, cars, cars_index):
+        query = parse_query("Description CONTAINS 'rare'")
+        merged = MergedList(query, cars_index)
+        got = one_pass_unscored(merged, 10)
+        assert len(got) == 1
+
+    def test_no_matches(self, cars_index):
+        merged = MergedList(parse_query("Make = 'Tesla'"), cars_index)
+        assert one_pass_unscored(merged, 3) == []
+        assert one_pass_scored(merged, 3) == {}
+
+    def test_skipping_does_not_change_results_quality(self, cars, cars_index):
+        query = parse_query("Make = 'Honda'")
+        full = oracle_deweys(cars, cars_index, query)
+        for k in (1, 2, 3, 5, 8, 11, 20):
+            with_skips = one_pass_unscored(MergedList(query, cars_index), k)
+            without = one_pass_unscored(
+                MergedList(query, cars_index), k, use_skips=False
+            )
+            assert is_diverse(with_skips, full, k)
+            assert is_diverse(without, full, k)
+
+    def test_skipping_reduces_probes(self, cars, cars_index):
+        query = parse_query("Make = 'Honda'")
+        fast = MergedList(query, cars_index)
+        one_pass_unscored(fast, 2)
+        slow = MergedList(query, cars_index)
+        one_pass_unscored(slow, 2, use_skips=False)
+        assert fast.next_calls <= slow.next_calls
+
+    def test_scored_prefers_high_scores(self, cars, cars_index):
+        query = parse_query(
+            "Make = 'Toyota' [2] OR Description CONTAINS 'miles' [1]"
+        )
+        merged = MergedList(query, cars_index)
+        got = one_pass_scored(merged, 4)
+        # The four Toyotas score 3; everything else scores at most 1.
+        assert sorted(got.values()) == [3.0, 3.0, 3.0, 3.0]
+
+    def test_scored_diversifies_ties(self, cars, cars_index):
+        query = parse_query("Year = 2007")
+        merged = MergedList(query, cars_index)
+        got = one_pass_scored(merged, 5)
+        sres = {
+            cars_index.dewey.dewey_of(rid): score
+            for rid, score in scored_res(cars, parse_query("Year = 2007"))
+        }
+        assert is_scored_diverse(list(got), sres, 5)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=1_000_000),
+    st.integers(min_value=1, max_value=10),
+)
+def test_unscored_oracle_equivalence(seed, k):
+    """Property: the one-pass result is always a diverse result set of the
+    full evaluation (Definition 2), on random relations and queries."""
+    rng = random.Random(seed)
+    relation = random_relation(rng, max_rows=45)
+    index = InvertedIndex.build(relation, DiversityOrdering(RANDOM_ORDERING))
+    query = random_query(rng)
+    merged = MergedList(query, index)
+    got = one_pass_unscored(merged, k)
+    full = [index.dewey.dewey_of(rid) for rid in res(relation, query)]
+    assert is_diverse(got, full, k)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=1_000_000),
+    st.integers(min_value=1, max_value=10),
+)
+def test_scored_oracle_equivalence(seed, k):
+    rng = random.Random(seed)
+    relation = random_relation(rng, max_rows=45)
+    index = InvertedIndex.build(relation, DiversityOrdering(RANDOM_ORDERING))
+    query = random_query(rng, weighted=True)
+    merged = MergedList(query, index)
+    got = one_pass_scored(merged, k)
+    sres = {
+        index.dewey.dewey_of(rid): score
+        for rid, score in scored_res(relation, query)
+    }
+    assert is_scored_diverse(list(got), sres, k)
+    for dewey, score in got.items():
+        assert score == pytest.approx(sres[dewey])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000_000))
+def test_single_pass_property(seed):
+    """The scan never revisits: Dewey IDs requested from the merged list are
+    strictly increasing (the defining property of a one-pass algorithm)."""
+    rng = random.Random(seed)
+    relation = random_relation(rng, max_rows=40)
+    index = InvertedIndex.build(relation, DiversityOrdering(RANDOM_ORDERING))
+    query = random_query(rng)
+
+    requested = []
+    merged = MergedList(query, index)
+    original = merged.next
+
+    def spy(bound, direction=LEFT):
+        requested.append(bound)
+        return original(bound, direction)
+
+    merged.next = spy
+    one_pass_unscored(merged, 5)
+    assert requested == sorted(requested)

@@ -1,0 +1,215 @@
+"""Tests for predicates, query trees, the parser and naive evaluation."""
+
+import pytest
+
+from repro.query.evaluate import res, scored_res, selectivity
+from repro.query.parser import QueryParseError, parse_query
+from repro.query.predicates import KeywordPredicate, ScalarPredicate
+from repro.query.query import AND, LEAF, OR, Query
+
+
+class TestPredicates:
+    def test_scalar_match(self):
+        predicate = ScalarPredicate("Make", "Honda")
+        assert predicate.matches({"Make": "Honda"})
+        assert not predicate.matches({"Make": "Toyota"})
+        assert predicate.describe() == "Make = 'Honda'"
+
+    def test_scalar_numeric(self):
+        predicate = ScalarPredicate("Year", 2007)
+        assert predicate.matches({"Year": 2007})
+        assert not predicate.matches({"Year": 2006})
+
+    def test_keyword_match(self):
+        predicate = KeywordPredicate("Description", "Low miles")
+        assert predicate.matches({"Description": "low MILES, one owner"})
+        assert not predicate.matches({"Description": "low price"})
+
+    def test_keyword_terms_normalised(self):
+        predicate = KeywordPredicate("d", "Low LOW miles")
+        assert predicate.terms == ("low", "miles")
+
+    def test_keyword_requires_tokens(self):
+        with pytest.raises(ValueError):
+            KeywordPredicate("d", "!!!")
+
+
+class TestQueryTree:
+    def test_leaf_builders(self):
+        query = Query.scalar("Make", "Honda", weight=2.0)
+        assert query.kind == LEAF
+        assert query.weight == 2.0
+
+    def test_conjunction_flattens(self):
+        q = Query.conjunction(
+            Query.scalar("a", 1), Query.conjunction(Query.scalar("b", 2), Query.scalar("c", 3))
+        )
+        assert q.kind == AND
+        assert len(q.children) == 3
+
+    def test_disjunction_flattens(self):
+        q = Query.scalar("a", 1) | (Query.scalar("b", 2) | Query.scalar("c", 3))
+        assert q.kind == OR
+        assert len(q.children) == 3
+
+    def test_and_or_operators(self):
+        q = Query.scalar("a", 1) & Query.scalar("b", 2)
+        assert q.kind == AND
+
+    def test_matches_and(self):
+        q = Query.scalar("Make", "Honda") & Query.scalar("Year", 2007)
+        assert q.matches({"Make": "Honda", "Year": 2007})
+        assert not q.matches({"Make": "Honda", "Year": 2006})
+
+    def test_matches_or(self):
+        q = Query.scalar("Make", "Honda") | Query.scalar("Year", 2007)
+        assert q.matches({"Make": "Toyota", "Year": 2007})
+        assert not q.matches({"Make": "Toyota", "Year": 2006})
+
+    def test_score_sums_satisfied_leaf_weights(self):
+        q = Query.disjunction(
+            Query.scalar("Make", "Honda", weight=2.0),
+            Query.keyword("Description", "miles", weight=3.0),
+        )
+        assert q.score({"Make": "Honda", "Description": "low miles"}) == 5.0
+        assert q.score({"Make": "Toyota", "Description": "low miles"}) == 3.0
+
+    def test_score_counts_partial_and_leaves(self):
+        """Per the paper, score is over satisfied predicates, independent of
+        the boolean structure that defines membership."""
+        q = Query.scalar("a", 1, weight=1.0) & Query.scalar("b", 2, weight=1.0)
+        assert q.score({"a": 1, "b": 99}) == 1.0
+
+    def test_match_all(self):
+        q = Query.match_all()
+        assert q.matches({"anything": 1})
+        assert q.is_match_all()
+
+    def test_max_score(self):
+        q = Query.scalar("a", 1, weight=2.0) | Query.scalar("b", 2, weight=3.5)
+        assert q.max_score() == 5.5
+
+    def test_attributes(self):
+        q = Query.scalar("a", 1) & Query.keyword("d", "x")
+        assert q.attributes() == {"a", "d"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Query(LEAF)
+        with pytest.raises(ValueError):
+            Query(AND, children=())
+        with pytest.raises(ValueError):
+            Query("xor", children=(Query.scalar("a", 1),))
+        with pytest.raises(ValueError):
+            Query.scalar("a", 1, weight=-1)
+
+    def test_equality_hash(self):
+        a = Query.scalar("x", 1) & Query.scalar("y", 2)
+        b = Query.scalar("x", 1) & Query.scalar("y", 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != (Query.scalar("x", 1) | Query.scalar("y", 2))
+
+    def test_describe(self):
+        q = Query.scalar("Make", "Honda") & Query.keyword("D", "low", weight=2)
+        text = q.describe()
+        assert "Make = 'Honda'" in text and "AND" in text and "[w=2]" in text
+
+
+class TestParser:
+    def test_scalar(self):
+        q = parse_query("Make = 'Honda'")
+        assert q == Query.scalar("Make", "Honda")
+
+    def test_numeric_literal(self):
+        q = parse_query("Year = 2007")
+        assert q.predicate.value == 2007
+
+    def test_float_literal(self):
+        q = parse_query("Price = 3.5")
+        assert q.predicate.value == 3.5
+
+    def test_contains(self):
+        q = parse_query("Description CONTAINS 'Low miles'")
+        assert isinstance(q.predicate, KeywordPredicate)
+        assert q.predicate.terms == ("low", "miles")
+
+    def test_case_insensitive_keywords(self):
+        q = parse_query("Make = 'Honda' and Description contains 'low'")
+        assert q.kind == AND
+
+    def test_precedence_and_binds_tighter(self):
+        q = parse_query("a = 1 OR b = 2 AND c = 3")
+        assert q.kind == OR
+        assert q.children[1].kind == AND
+
+    def test_parentheses(self):
+        q = parse_query("(a = 1 OR b = 2) AND c = 3")
+        assert q.kind == AND
+        assert q.children[0].kind == OR
+
+    def test_weights(self):
+        q = parse_query("Make = 'Honda' [2] OR Description CONTAINS 'rare' [3.5]")
+        assert [child.weight for child in q.children] == [2.0, 3.5]
+
+    def test_double_quotes_and_escapes(self):
+        q = parse_query('Make = "O\\"Brien"')
+        assert q.predicate.value == 'O"Brien'
+
+    def test_bareword_literal(self):
+        q = parse_query("Make = Honda")
+        assert q.predicate.value == "Honda"
+
+    def test_match_all_forms(self):
+        assert parse_query("").is_match_all()
+        assert parse_query("*").is_match_all()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "Make =",
+            "Make",
+            "= 'Honda'",
+            "(a = 1",
+            "a = 1 AND",
+            "a = 1 b = 2",
+            "a CONTAINS",
+            "a = 1 [x]",
+        ],
+    )
+    def test_errors(self, bad):
+        with pytest.raises(QueryParseError):
+            parse_query(bad)
+
+    def test_roundtrip_through_describe_like_forms(self):
+        q = parse_query("Make = 'Honda' AND (Year = 2007 OR Color = 'Red')")
+        assert q.kind == AND
+        assert q.children[1].kind == OR
+
+
+class TestEvaluate:
+    def test_res_on_figure1(self, cars):
+        assert res(cars, parse_query("Make = 'Honda'")) == list(range(11))
+        assert res(cars, parse_query("Make = 'Toyota'")) == [11, 12, 13, 14]
+        assert res(cars, parse_query("Year = 2007")) == [
+            0, 1, 2, 3, 5, 7, 9, 11, 12, 13, 14,
+        ]
+
+    def test_res_conjunction(self, cars):
+        q = parse_query("Year = 2007 AND Description CONTAINS 'miles'")
+        assert res(cars, q) == [0, 1, 2, 3, 11, 12, 13, 14]
+
+    def test_res_disjunction(self, cars):
+        q = parse_query("Make = 'Toyota' OR Description CONTAINS 'rare'")
+        assert res(cars, q) == [7, 11, 12, 13, 14]
+
+    def test_scored_res(self, cars):
+        q = parse_query("Make = 'Toyota' [2] OR Description CONTAINS 'miles' [1]")
+        scored = dict(scored_res(cars, q))
+        assert scored[11] == 3.0  # Toyota with 'miles'
+        assert scored[6] == 1.0   # Honda Accord 'Good miles'
+
+    def test_selectivity(self, cars):
+        assert selectivity(cars, parse_query("Make = 'Toyota'")) == pytest.approx(
+            4 / 15
+        )
+        assert selectivity(cars, Query.match_all()) == 1.0

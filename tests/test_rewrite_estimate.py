@@ -1,0 +1,195 @@
+"""Tests for logical rewriting, query-string rendering, and selectivity
+estimation / physical ordering."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.inverted import InvertedIndex
+from repro.core.ordering import DiversityOrdering
+from repro.query.estimate import (
+    estimate_cardinality,
+    estimate_selectivity,
+    leaf_cardinality,
+    order_for_leapfrog,
+)
+from repro.query.evaluate import res
+from repro.query.parser import parse_query
+from repro.query.query import AND, LEAF, OR, Query
+from repro.query.rewrite import is_match_all_leaf, normalise, to_query_string
+
+from .conftest import RANDOM_ORDERING, random_query, random_relation
+
+
+class TestNormalise:
+    def test_flattens(self):
+        nested = Query(AND, children=(
+            Query.scalar("a", 1),
+            Query(AND, children=(Query.scalar("b", 2), Query.scalar("c", 3))),
+        ))
+        flat = normalise(nested)
+        assert len(flat.children) == 3
+
+    def test_merges_duplicate_leaves_summing_weights(self):
+        q = Query.disjunction(
+            Query.scalar("a", 1, weight=2.0),
+            Query.scalar("a", 1, weight=3.0),
+            Query.scalar("b", 2),
+        )
+        merged = normalise(q)
+        assert len(merged.children) == 2
+        weights = {c.predicate.attribute: c.weight for c in merged.children}
+        assert weights["a"] == 5.0
+
+    def test_score_preserved_by_merge(self):
+        q = Query.disjunction(
+            Query.scalar("a", 1, weight=2.0), Query.scalar("a", 1, weight=3.0)
+        )
+        merged = normalise(q)
+        row = {"a": 1}
+        assert merged.score(row) == q.score(row) == 5.0
+
+    def test_true_dropped_from_and(self):
+        q = Query.match_all() & Query.scalar("a", 1)
+        assert normalise(q) == Query.scalar("a", 1)
+
+    def test_all_true_and_collapses_to_match_all(self):
+        q = Query(AND, children=(Query.match_all().children[0],))
+        assert normalise(q).is_match_all()
+
+    def test_singleton_collapse(self):
+        q = Query(OR, children=(Query.scalar("a", 1),))
+        assert normalise(q).kind == LEAF
+
+    def test_leaf_passthrough(self):
+        leaf = Query.scalar("a", 1)
+        assert normalise(leaf) is leaf
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_boolean_equivalence(self, seed):
+        rng = random.Random(seed)
+        relation = random_relation(rng, max_rows=25)
+        query = random_query(rng, weighted=True)
+        rewritten = normalise(query)
+        assert res(relation, query) == res(relation, rewritten)
+
+
+class TestToQueryString:
+    def test_scalar(self):
+        assert to_query_string(Query.scalar("Make", "Honda")) == "Make = 'Honda'"
+
+    def test_numeric(self):
+        assert to_query_string(Query.scalar("Year", 2007)) == "Year = 2007"
+
+    def test_weight(self):
+        text = to_query_string(Query.scalar("a", 1, weight=2.5))
+        assert text == "a = 1 [2.5]"
+
+    def test_keyword(self):
+        text = to_query_string(Query.keyword("D", "low miles"))
+        assert text == "D CONTAINS 'low miles'"
+
+    def test_quotes_escaped(self):
+        q = Query.scalar("a", "O'Brien")
+        assert parse_query(to_query_string(q)).predicate.value == "O'Brien"
+
+    def test_nested(self):
+        q = (Query.scalar("a", 1) | Query.scalar("b", 2)) & Query.scalar("c", 3)
+        text = to_query_string(q)
+        assert parse_query(text) == q
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_roundtrip(self, seed):
+        rng = random.Random(seed)
+        query = random_query(rng, weighted=True)
+        assert parse_query(to_query_string(query)) == query
+
+
+class TestEstimate:
+    @pytest.fixture
+    def index(self, cars):
+        from repro.data.paper_example import figure1_ordering
+
+        return InvertedIndex.build(cars, figure1_ordering())
+
+    def test_leaf_cardinality_exact(self, index):
+        assert leaf_cardinality(parse_query("Make = 'Honda'"), index) == 11
+        assert leaf_cardinality(parse_query("Make = 'Tesla'"), index) == 0
+        assert leaf_cardinality(
+            parse_query("Description CONTAINS 'miles'"), index
+        ) == 11
+        assert leaf_cardinality(Query.match_all().children[0], index) == 15
+
+    def test_keyword_multi_token_uses_rarest(self, index):
+        assert leaf_cardinality(
+            parse_query("Description CONTAINS 'good miles'"), index
+        ) == 3  # 'good' appears 3 times, 'miles' 11
+
+    def test_and_independence(self, index):
+        q = parse_query("Make = 'Honda' AND Year = 2007")
+        expected = 15 * (11 / 15) * (11 / 15)
+        assert estimate_cardinality(q, index) == pytest.approx(expected)
+
+    def test_or_inclusion_exclusion(self, index):
+        q = parse_query("Make = 'Honda' OR Make = 'Toyota'")
+        sel = 1 - (1 - 11 / 15) * (1 - 4 / 15)
+        assert estimate_selectivity(q, index) == pytest.approx(sel)
+
+    def test_empty_index(self):
+        from repro.storage.relation import Relation
+        from repro.storage.schema import Schema
+
+        empty = Relation(Schema.of(a="categorical"))
+        index = InvertedIndex.build(empty, DiversityOrdering(["a"]))
+        assert estimate_cardinality(parse_query("a = 'x'"), index) == 0.0
+
+
+class TestOrderForLeapfrog:
+    @pytest.fixture
+    def index(self, cars):
+        from repro.data.paper_example import figure1_ordering
+
+        return InvertedIndex.build(cars, figure1_ordering())
+
+    def test_rarest_child_first(self, index):
+        q = parse_query("Make = 'Honda' AND Description CONTAINS 'Rare'")
+        ordered = order_for_leapfrog(q, index)
+        first = ordered.children[0]
+        assert first.predicate.attribute == "Description"
+
+    def test_or_children_untouched_in_order_semantics(self, index):
+        q = parse_query("Make = 'Honda' OR Make = 'Toyota'")
+        ordered = order_for_leapfrog(q, index)
+        assert {c.predicate.value for c in ordered.children} == {"Honda", "Toyota"}
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_semantics_preserved(self, seed):
+        rng = random.Random(seed)
+        relation = random_relation(rng, max_rows=25)
+        index = InvertedIndex.build(relation, DiversityOrdering(RANDOM_ORDERING))
+        query = random_query(rng, weighted=True)
+        ordered = order_for_leapfrog(query, index)
+        assert res(relation, query) == res(relation, ordered)
+        names = relation.schema.names
+        for row in relation:
+            mapping = dict(zip(names, row))
+            assert query.score(mapping) == pytest.approx(ordered.score(mapping))
+
+
+class TestEngineOptimizeFlag:
+    def test_same_answers_with_and_without(self, cars_engine):
+        text = "Description CONTAINS 'Rare' AND Make = 'Honda'"
+        a = cars_engine.search(text, k=3, optimize=True)
+        b = cars_engine.search(text, k=3, optimize=False)
+        assert a.deweys == b.deweys
+
+    def test_optimized_conjunction_probes_less_or_equal(self, cars_engine):
+        text = "Make = 'Honda' AND Description CONTAINS 'Rare'"
+        optimized = cars_engine.search(text, k=3, algorithm="naive", optimize=True)
+        plain = cars_engine.search(text, k=3, algorithm="naive", optimize=False)
+        assert optimized.deweys == plain.deweys

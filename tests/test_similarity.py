@@ -1,0 +1,233 @@
+"""Tests for the formal diversity semantics: water-filling, checkers, and
+their equivalence to brute-force minimisation of the paper's objective."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diversify import diverse_subset, scored_diverse_subset, waterfill
+from repro.core.similarity import (
+    children_of,
+    count_tree,
+    is_balanced,
+    is_diverse,
+    is_scored_diverse,
+    pair_objective,
+)
+
+
+class TestCountTree:
+    def test_counts_every_prefix(self):
+        counts = count_tree([(0, 0), (0, 1), (1, 0)])
+        assert counts[()] == 3
+        assert counts[(0,)] == 2
+        assert counts[(1,)] == 1
+        assert counts[(0, 1)] == 1
+
+    def test_children_of(self):
+        counts = count_tree([(0, 0), (0, 1), (1, 0)])
+        assert sorted(children_of(counts, ())) == [(0,), (1,)]
+        assert children_of(counts, (0,)) == [(0, 0), (0, 1)] or sorted(
+            children_of(counts, (0,))
+        ) == [(0, 0), (0, 1)]
+
+
+class TestPairObjective:
+    def test_zero_for_singletons(self):
+        assert pair_objective([1, 1, 1]) == 0
+
+    def test_counts_pairs(self):
+        assert pair_objective([3]) == 3
+        assert pair_objective([2, 2]) == 2
+
+
+class TestIsBalanced:
+    def test_balanced(self):
+        assert is_balanced([2, 1, 1], [5, 5, 5])
+
+    def test_unbalanced(self):
+        assert not is_balanced([3, 1, 0], [5, 5, 5])
+
+    def test_capacity_excuses_imbalance(self):
+        assert is_balanced([3, 1, 1], [5, 1, 1])
+
+    def test_overflow_rejected(self):
+        assert not is_balanced([3], [2])
+
+    def test_lower_bound_respected(self):
+        assert not is_balanced([0, 1], [2, 2], [1, 0])
+
+    def test_lower_bounds_excuse_imbalance(self):
+        # Child 0 is pinned at 3 by forced items: (3, 1) is optimal.
+        assert is_balanced([3, 1], [3, 5], [3, 0])
+
+    def test_misaligned_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            is_balanced([1], [1, 2])
+
+
+class TestWaterfill:
+    def test_even_split(self):
+        assert waterfill(6, [5, 5, 5]) == [2, 2, 2]
+
+    def test_capacity_limits(self):
+        assert waterfill(6, [1, 10, 2]) == [1, 3, 2]
+
+    def test_lower_bounds(self):
+        assert waterfill(5, [5, 5], [4, 0]) == [4, 1]
+
+    def test_infeasible_budget(self):
+        with pytest.raises(ValueError):
+            waterfill(7, [2, 2])
+        with pytest.raises(ValueError):
+            waterfill(1, [5, 5], [1, 1])
+
+    def test_zero_budget(self):
+        assert waterfill(0, [3, 3]) == [0, 0]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=5),
+        st.data(),
+    )
+    def test_optimal_vs_bruteforce(self, capacities, data):
+        budget = data.draw(st.integers(min_value=0, max_value=sum(capacities)))
+        allocation = waterfill(budget, capacities)
+        assert sum(allocation) == budget
+        assert all(0 <= n <= c for n, c in zip(allocation, capacities))
+        best = min(
+            sum(n * n for n in combo)
+            for combo in itertools.product(
+                *(range(c + 1) for c in capacities)
+            )
+            if sum(combo) == budget
+        )
+        assert sum(n * n for n in allocation) == best
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=4),
+    )
+    def test_nestedness(self, capacities):
+        """Optimal allocations grow one unit at a time (greedy = nested)."""
+        previous = [0] * len(capacities)
+        for budget in range(1, sum(capacities) + 1):
+            allocation = waterfill(budget, capacities)
+            grew = [a - p for a, p in zip(allocation, previous)]
+            assert sum(grew) == 1 and all(g >= 0 for g in grew)
+            previous = allocation
+
+
+def brute_force_diverse_sets(deweys, k):
+    """All size-k subsets achieving per-prefix optimality (the definition)."""
+    return [
+        set(combo)
+        for combo in itertools.combinations(sorted(deweys), k)
+        if is_diverse(combo, deweys, k)
+    ]
+
+
+def brute_force_best_objective(deweys, k):
+    """Check the checker itself: Definition 2 via exhaustive per-prefix
+    minimisation.  For each candidate set, every prefix's child counts must
+    be water-fill optimal, which we verify by direct enumeration."""
+    best = []
+    counts_all = count_tree(deweys)
+    depth = len(next(iter(deweys)))
+    for combo in itertools.combinations(sorted(deweys), k):
+        chosen = count_tree(combo)
+        ok = True
+        for prefix, budget in chosen.items():
+            if len(prefix) >= depth:
+                continue
+            kids = children_of(counts_all, prefix)
+            ns = [chosen.get(c, 0) for c in kids]
+            caps = [counts_all[c] for c in kids]
+            best_obj = min(
+                sum(x * x for x in assign)
+                for assign in itertools.product(*(range(c + 1) for c in caps))
+                if sum(assign) == budget
+            )
+            if sum(x * x for x in ns) != best_obj:
+                ok = False
+                break
+        if ok:
+            best.append(set(combo))
+    return best
+
+
+class TestIsDiverse:
+    def test_figure1_example(self):
+        """The top relation of Figure 1(b) (three Honda models) is diverse;
+        the bottom one (three Civics) is not, when four models exist."""
+        hondas = [(0, m, c, 0) for m, c in [(0, 0), (0, 1), (0, 2), (1, 0), (2, 0), (3, 0)]]
+        three_models = [(0, 0, 0, 0), (0, 1, 0, 0), (0, 2, 0, 0)]
+        three_civics = [(0, 0, 0, 0), (0, 0, 1, 0), (0, 0, 2, 0)]
+        assert is_diverse(three_models, hondas, 3)
+        assert not is_diverse(three_civics, hondas, 3)
+
+    def test_must_be_subset(self):
+        assert not is_diverse([(9, 9)], [(0, 0)], 1)
+
+    def test_size_enforced(self):
+        universe = [(0, 0), (1, 0)]
+        assert not is_diverse([(0, 0)], universe, 2)
+
+    def test_empty_selection(self):
+        assert is_diverse([], [], 0)
+        assert is_diverse([], [(0, 0)], 0)
+
+    def test_duplicates_rejected(self):
+        assert not is_diverse([(0, 0), (0, 0)], [(0, 0), (1, 0)], 2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_checker_matches_bruteforce_definition(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 8)
+        deweys = list(
+            {
+                (rng.randint(0, 2), rng.randint(0, 2), i)
+                for i in range(n)
+            }
+        )
+        k = rng.randint(1, len(deweys))
+        expected = brute_force_best_objective(deweys, k)
+        for combo in itertools.combinations(sorted(deweys), k):
+            assert is_diverse(combo, deweys, k) == (set(combo) in expected)
+
+
+class TestIsScoredDiverse:
+    def test_forced_items_required(self):
+        scores = {(0, 0): 5.0, (0, 1): 1.0, (1, 0): 1.0}
+        assert is_scored_diverse([(0, 0), (1, 0)], scores, 2)
+        # Dropping the score-5 tuple loses total score.
+        assert not is_scored_diverse([(0, 1), (1, 0)], scores, 2)
+
+    def test_diversity_among_ties(self):
+        scores = {(0, 0): 1.0, (0, 1): 1.0, (1, 0): 1.0}
+        assert is_scored_diverse([(0, 0), (1, 0)], scores, 2)
+        assert not is_scored_diverse([(0, 0), (0, 1)], scores, 2)
+
+    def test_reduces_to_unscored_on_uniform_scores(self):
+        deweys = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        scores = {d: 2.0 for d in deweys}
+        for combo in itertools.combinations(deweys, 2):
+            assert is_scored_diverse(list(combo), scores, 2) == is_diverse(
+                combo, deweys, 2
+            )
+
+    def test_reduces_to_topk_on_unique_scores(self):
+        scores = {(0, 0): 1.0, (0, 1): 2.0, (0, 2): 3.0, (1, 0): 4.0}
+        assert is_scored_diverse([(0, 2), (1, 0)], scores, 2)
+        assert not is_scored_diverse([(0, 0), (1, 0)], scores, 2)
+
+    def test_forced_imbalance_is_tolerated(self):
+        """Forced high scorers may crowd one branch; the tier must still be
+        spread as well as the bounds allow."""
+        scores = {(0, 0): 9.0, (0, 1): 9.0, (0, 2): 1.0, (1, 0): 1.0}
+        assert is_scored_diverse([(0, 0), (0, 1), (1, 0)], scores, 3)
+        assert not is_scored_diverse([(0, 0), (0, 1), (0, 2)], scores, 3)

@@ -1,0 +1,158 @@
+"""Tests for index snapshot save/load."""
+
+import gzip
+import json
+
+import pytest
+
+from repro import DiversityEngine
+from repro.data.autos import AutosSpec, autos_ordering, generate_autos
+from repro.data.paper_example import figure1_ordering, figure1_relation
+from repro.index.inverted import InvertedIndex
+from repro.index.snapshot import SnapshotError, load_index, save_index
+
+
+@pytest.fixture
+def built_index(cars):
+    return InvertedIndex.build(cars, figure1_ordering())
+
+
+class TestRoundtrip:
+    def test_deweys_preserved(self, built_index, tmp_path):
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        restored = load_index(path)
+        assert len(restored) == len(built_index)
+        for rid in range(len(built_index.relation)):
+            assert restored.dewey.dewey_of(rid) == built_index.dewey.dewey_of(rid)
+
+    def test_postings_preserved(self, built_index, tmp_path):
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        restored = load_index(path)
+        assert list(restored.scalar_postings("Make", "Honda")) == list(
+            built_index.scalar_postings("Make", "Honda")
+        )
+        assert list(restored.token_postings("Description", "miles")) == list(
+            built_index.token_postings("Description", "miles")
+        )
+        assert list(restored.all_postings()) == list(built_index.all_postings())
+
+    def test_queries_identical(self, built_index, tmp_path):
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        restored = load_index(path)
+        original_engine = DiversityEngine(built_index)
+        restored_engine = DiversityEngine(restored)
+        for text in ["Make = 'Honda'", "Year = 2007 AND Description CONTAINS 'miles'"]:
+            assert (
+                original_engine.search(text, k=5).deweys
+                == restored_engine.search(text, k=5).deweys
+            )
+
+    def test_backend_preserved(self, cars, tmp_path):
+        index = InvertedIndex.build(cars, figure1_ordering(), backend="bptree")
+        path = tmp_path / "cars.idx"
+        save_index(index, path)
+        assert load_index(path).backend == "bptree"
+
+    def test_incremental_assignment_preserved(self, tmp_path):
+        """Incremental (first-come) sibling numbers survive the roundtrip —
+        the reason the assignment is persisted at all."""
+        relation = figure1_relation()
+        index = InvertedIndex(relation, figure1_ordering())
+        for rid in reversed(range(len(relation))):  # reverse insertion order
+            index.insert(rid)
+        path = tmp_path / "cars.idx"
+        save_index(index, path)
+        restored = load_index(path)
+        for rid in range(len(relation)):
+            assert restored.dewey.dewey_of(rid) == index.dewey.dewey_of(rid)
+
+    def test_restored_index_accepts_new_inserts(self, built_index, tmp_path):
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        restored = load_index(path)
+        rid = restored.relation.insert(("Tesla", "ModelS", "Red", 2008, "rare"))
+        dewey = restored.insert(rid)
+        assert restored.dewey.rid_of(dewey) == rid
+        assert len(restored.scalar_postings("Make", "Tesla")) == 1
+
+    def test_autos_scale_roundtrip(self, tmp_path):
+        relation = generate_autos(AutosSpec(rows=800, seed=3))
+        index = InvertedIndex.build(relation, autos_ordering())
+        path = tmp_path / "autos.idx"
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.dewey.all_deweys() == index.dewey.all_deweys()
+
+
+class TestValidation:
+    def test_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "bogus.idx"
+        path.write_bytes(b"not gzip at all")
+        with pytest.raises(SnapshotError):
+            load_index(path)
+
+    def test_wrong_format_field(self, tmp_path):
+        path = tmp_path / "bogus.idx"
+        with gzip.open(path, "wb") as handle:
+            handle.write(json.dumps({"format": "something-else"}).encode())
+        with pytest.raises(SnapshotError):
+            load_index(path)
+
+    def test_wrong_version(self, built_index, tmp_path):
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        with gzip.open(path, "rb") as handle:
+            document = json.loads(handle.read())
+        document["version"] = 99
+        with gzip.open(path, "wb") as handle:
+            handle.write(json.dumps(document).encode())
+        with pytest.raises(SnapshotError):
+            load_index(path)
+
+    def test_missing_field(self, built_index, tmp_path):
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        with gzip.open(path, "rb") as handle:
+            document = json.loads(handle.read())
+        del document["deweys"]
+        with gzip.open(path, "wb") as handle:
+            handle.write(json.dumps(document).encode())
+        with pytest.raises(SnapshotError):
+            load_index(path)
+
+    def test_corrupt_dewey_depth(self, built_index, tmp_path):
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        with gzip.open(path, "rb") as handle:
+            document = json.loads(handle.read())
+        document["deweys"][0][1] = [0, 0]
+        with gzip.open(path, "wb") as handle:
+            handle.write(json.dumps(document).encode())
+        with pytest.raises(SnapshotError):
+            load_index(path)
+
+    def test_duplicate_dewey(self, built_index, tmp_path):
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        with gzip.open(path, "rb") as handle:
+            document = json.loads(handle.read())
+        document["deweys"][1][1] = document["deweys"][0][1]
+        with gzip.open(path, "wb") as handle:
+            handle.write(json.dumps(document).encode())
+        with pytest.raises(SnapshotError):
+            load_index(path)
+
+    def test_inconsistent_component_mapping(self, built_index, tmp_path):
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        with gzip.open(path, "rb") as handle:
+            document = json.loads(handle.read())
+        # Two Hondas with different top-level components.
+        document["deweys"][0][1][0] = 5
+        with gzip.open(path, "wb") as handle:
+            handle.write(json.dumps(document).encode())
+        with pytest.raises(SnapshotError):
+            load_index(path)
