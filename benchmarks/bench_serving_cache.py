@@ -1,0 +1,224 @@
+"""Serving-layer cache benchmark: cold vs. warm vs. skewed traffic.
+
+Beyond the paper (which computes every diverse top-k from scratch): this
+measures what the ``repro.serving`` caches buy on a skewed repeated-query
+workload — the regime of real shopping traffic.  Three measurements:
+
+* **cold** — every query executed from scratch (caches disabled; the
+  baseline every other figure uses, and the state of a cache that has
+  never seen the workload),
+* **fill** — a fresh :class:`ServingEngine`, first pass over the workload
+  (each distinct query misses once; repeats already hit),
+* **warm** — the same engine, same workload again (pure hits).
+
+Run under pytest (``pytest benchmarks/bench_serving_cache.py``) for the
+pytest-benchmark comparison table, or directly
+(``python benchmarks/bench_serving_cache.py``) to print and persist the
+cold/warm/speedup summary consumed by ``BENCH_serving_cache.json``.
+Scales follow ``REPRO_BENCH_ROWS`` / ``REPRO_BENCH_QUERIES`` like every
+other benchmark.
+"""
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import env_int, run_serving_workload, run_workload
+from repro.core.engine import DiversityEngine
+from repro.data.autos import AutosSpec, autos_ordering, generate_autos
+from repro.data.workload import WorkloadGenerator, WorkloadSpec
+from repro.index.inverted import InvertedIndex
+from repro.serving import ServingEngine
+
+# The acceptance workload: Zipf s=1.0, 500 queries over 50 distinct strings.
+DEFAULT_DISTINCT = 50
+DEFAULT_ZIPF_S = 1.0
+DEFAULT_WORKLOAD_QUERIES = 500
+K = 10
+TAG = "UProbe"
+
+_CACHE = {}
+
+
+def _setup(rows, queries=DEFAULT_WORKLOAD_QUERIES, distinct=DEFAULT_DISTINCT,
+           zipf_s=DEFAULT_ZIPF_S):
+    key = (rows, queries, distinct, zipf_s)
+    if key not in _CACHE:
+        relation = generate_autos(AutosSpec(rows=rows, seed=42))
+        index = InvertedIndex.build(relation, autos_ordering())
+        workload = WorkloadGenerator(
+            relation,
+            WorkloadSpec(
+                queries=queries,
+                predicates=2,   # two predicates keep the 50-query pool distinct
+                selectivity=0.5,
+                distinct=distinct,
+                zipf_s=zipf_s,
+                seed=1,
+            ),
+        ).materialise()
+        _CACHE[key] = (index, workload)
+    return _CACHE[key]
+
+
+def measure(rows, queries=DEFAULT_WORKLOAD_QUERIES, distinct=DEFAULT_DISTINCT,
+            zipf_s=DEFAULT_ZIPF_S):
+    """One full cold/warm/uncached measurement; returns a JSON-able dict."""
+    index, workload = _setup(rows, queries, distinct, zipf_s)
+
+    # Collect before each timed phase so leftover garbage from earlier
+    # benchmarks can't bill its pauses to these (short) measurements.
+    gc.collect()
+    cold = run_workload(index, workload, K, TAG)
+
+    serving = ServingEngine(DiversityEngine(index))
+    gc.collect()
+    fill = run_serving_workload(serving, workload, K, TAG)
+    gc.collect()
+    warm = run_serving_workload(serving, workload, K, TAG)
+
+    stats = serving.stats
+    return {
+        "benchmark": "serving_cache",
+        "algorithm": TAG,
+        "rows": rows,
+        "queries": queries,
+        "distinct": distinct,
+        "zipf_s": zipf_s,
+        "k": K,
+        "python": platform.python_version(),
+        "cold_seconds": round(cold.total_seconds, 6),
+        "fill_seconds": round(fill.total_seconds, 6),
+        "warm_seconds": round(warm.total_seconds, 6),
+        "warm_speedup_vs_cold": round(cold.total_seconds / warm.total_seconds, 2)
+        if warm.total_seconds > 0 else float("inf"),
+        "warm_speedup_vs_fill": round(fill.total_seconds / warm.total_seconds, 2)
+        if warm.total_seconds > 0 else float("inf"),
+        "fill_speedup_vs_cold": round(cold.total_seconds / fill.total_seconds, 2)
+        if fill.total_seconds > 0 else float("inf"),
+        "fill_hit_ratio": round(fill.cache_hit_ratio, 4),
+        "warm_hit_ratio": round(warm.cache_hit_ratio, 4),
+        "fill_hits": fill.cache_hits,
+        "fill_misses": fill.cache_misses,
+        "warm_hits": warm.cache_hits,
+        "warm_misses": warm.cache_misses,
+        "warm_next_calls": warm.next_calls,
+        "totals": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "epoch_invalidations": stats.epoch_invalidations,
+            "plan_hits": stats.plan_hits,
+            "plan_misses": stats.plan_misses,
+            "plan_revalidations": stats.plan_revalidations,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (same shape as the figure benchmarks)
+# ----------------------------------------------------------------------
+try:
+    import pytest
+except ImportError:  # pragma: no cover - direct script runs without pytest
+    pytest = None
+
+if pytest is not None:
+    BENCH_ROWS = env_int("REPRO_BENCH_ROWS", 5000)
+
+    def test_serving_cold(benchmark):
+        index, workload = _setup(BENCH_ROWS)
+        benchmark.group = f"serving rows={BENCH_ROWS}"
+        timing = benchmark.pedantic(
+            run_workload, args=(index, workload, K, TAG), rounds=2, iterations=1
+        )
+        assert timing.results_returned >= 0
+
+    def test_serving_fill(benchmark):
+        index, workload = _setup(BENCH_ROWS)
+        benchmark.group = f"serving rows={BENCH_ROWS}"
+
+        def fill_run():
+            serving = ServingEngine(DiversityEngine(index))
+            return run_serving_workload(serving, workload, K, TAG)
+
+        timing = benchmark.pedantic(fill_run, rounds=2, iterations=1)
+        assert timing.cache_misses > 0
+
+    def test_serving_warm(benchmark):
+        index, workload = _setup(BENCH_ROWS)
+        benchmark.group = f"serving rows={BENCH_ROWS}"
+        serving = ServingEngine(DiversityEngine(index))
+        run_serving_workload(serving, workload, K, TAG)  # fill the caches
+
+        def warm_run():
+            return run_serving_workload(serving, workload, K, TAG)
+
+        timing = benchmark.pedantic(warm_run, rounds=2, iterations=1)
+        assert timing.cache_hits == len(workload)
+
+    def test_warm_beats_cold_5x():
+        """The PR's acceptance criterion, asserted at benchmark scale.
+
+        Best-of-3: a single measurement of a millisecond-scale warm pass
+        is at the mercy of scheduler/GC noise in a shared CI runner.
+        """
+        best = 0.0
+        for _ in range(3):
+            best = max(best, measure(BENCH_ROWS)["warm_speedup_vs_cold"])
+            if best >= 5.0:
+                break
+        assert best >= 5.0, f"warm only {best}x faster than cold"
+
+
+# ----------------------------------------------------------------------
+# Script entry point: print + persist the baseline JSON
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=env_int("REPRO_BENCH_ROWS", 5000))
+    parser.add_argument("--queries", type=int, default=DEFAULT_WORKLOAD_QUERIES)
+    parser.add_argument("--distinct", type=int, default=DEFAULT_DISTINCT)
+    parser.add_argument("--zipf", type=float, default=DEFAULT_ZIPF_S)
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the JSON report here (e.g. BENCH_serving_cache.json)",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    report = measure(args.rows, args.queries, args.distinct, args.zipf)
+    elapsed = time.perf_counter() - started
+
+    print(
+        f"serving cache @ {args.rows} rows, {args.queries} queries "
+        f"over {args.distinct} distinct (zipf s={args.zipf}):"
+    )
+    print(f"  cold (no cache): {report['cold_seconds'] * 1000:8.1f} ms")
+    print(
+        f"  fill (1st pass): {report['fill_seconds'] * 1000:8.1f} ms "
+        f"(hit ratio {report['fill_hit_ratio']:.2%})"
+    )
+    print(
+        f"  warm (2nd pass): {report['warm_seconds'] * 1000:8.1f} ms "
+        f"(hit ratio {report['warm_hit_ratio']:.2%})"
+    )
+    print(
+        f"  speedup: warm {report['warm_speedup_vs_cold']}x vs cold, "
+        f"fill {report['fill_speedup_vs_cold']}x vs cold "
+        f"[measured in {elapsed:.1f}s]"
+    )
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"  wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,7 @@ from .query.predicates import KeywordPredicate, ScalarPredicate
 from .query.query import Query
 from .query.rewrite import normalise, to_query_string
 from .query.scoring import coarsen_weights, idf_weights, scale_weights
+from .serving import BatchReport, CacheStats, ServingCache, ServingEngine
 from .storage.catalog import Catalog
 from .storage.relation import Relation
 from .storage.schema import Attribute, AttributeKind, Schema
@@ -57,6 +58,8 @@ __all__ = [
     "Attribute",
     "AttributeKind",
     "BPlusTree",
+    "BatchReport",
+    "CacheStats",
     "Catalog",
     "DeweyId",
     "DiverseResult",
@@ -73,6 +76,8 @@ __all__ = [
     "RIGHT",
     "ScalarPredicate",
     "Schema",
+    "ServingCache",
+    "ServingEngine",
     "DiversePaginator",
     "DiverseView",
     "RelaxedResult",

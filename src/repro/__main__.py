@@ -34,6 +34,7 @@ from .index.inverted import InvertedIndex
 from .index.snapshot import load_index, save_index
 from .core.ordering import DiversityOrdering
 from .query.parser import QueryParseError, parse_query
+from .serving import ServingCache
 from .storage.csvio import read_csv
 
 
@@ -88,6 +89,19 @@ def _query_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--stats", action="store_true", help="print probe statistics"
     )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve repeated queries from the plan/result caches",
+    )
+
+
+def _make_engine(index, args) -> DiversityEngine:
+    engine = DiversityEngine(index)
+    if getattr(args, "cache", False):
+        engine.attach_cache(ServingCache())
+    return engine
 
 
 def _cmd_build(args) -> int:
@@ -130,12 +144,12 @@ def _run_query(engine: DiversityEngine, args, text: str) -> int:
 
 
 def _cmd_query(args) -> int:
-    engine = DiversityEngine(load_index(args.index))
+    engine = _make_engine(load_index(args.index), args)
     return _run_query(engine, args, args.text)
 
 
 def _cmd_shell(args) -> int:
-    engine = DiversityEngine(load_index(args.index))
+    engine = _make_engine(load_index(args.index), args)
     print(
         f"repro shell — {engine.index!r}\n"
         f"ordering: {engine.ordering!r}\n"
@@ -152,6 +166,8 @@ def _cmd_shell(args) -> int:
 
 def _cmd_demo(args) -> int:
     engine = DiversityEngine.from_relation(figure1_relation(), figure1_ordering())
+    if getattr(args, "cache", False):
+        engine.attach_cache(ServingCache())
     print("Figure 1(a) Cars relation (15 rows), "
           "ordering Make < Model < Color < Year < Description\n")
     return _run_query(engine, args, args.text)

@@ -24,8 +24,10 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..index.inverted import InvertedIndex
 from ..index.merged import MergedList
+from ..query.estimate import order_for_leapfrog
 from ..query.parser import parse_query
 from ..query.query import Query
+from ..query.rewrite import normalise
 from ..storage.relation import Relation
 from . import baselines
 from .dewey import DeweyId
@@ -38,10 +40,18 @@ ALGORITHMS = ("onepass", "probe", "naive", "basic", "multq")
 
 
 class DiversityEngine:
-    """Diverse top-k search over one indexed relation."""
+    """Diverse top-k search over one indexed relation.
 
-    def __init__(self, index: InvertedIndex):
+    ``cache`` (optional) is a serving-layer cache — any object with the
+    :class:`repro.serving.ServingCache` interface (a ``search(engine, query,
+    k, algorithm, scored, optimize)`` method).  When attached, repeated
+    :meth:`search` calls are answered from the cache; ``insert``/``delete``
+    bump the index epoch, which lazily invalidates stale entries.
+    """
+
+    def __init__(self, index: InvertedIndex, cache=None):
         self._index = index
+        self._cache = cache
 
     @classmethod
     def from_relation(
@@ -49,11 +59,12 @@ class DiversityEngine:
         relation: Relation,
         ordering: Union[DiversityOrdering, Sequence[str]],
         backend: str = "array",
+        cache=None,
     ) -> "DiversityEngine":
         """Build the index (offline step) and wrap it in an engine."""
         if not isinstance(ordering, DiversityOrdering):
             ordering = DiversityOrdering(ordering)
-        return cls(InvertedIndex.build(relation, ordering, backend=backend))
+        return cls(InvertedIndex.build(relation, ordering, backend=backend), cache=cache)
 
     @property
     def index(self) -> InvertedIndex:
@@ -66,6 +77,20 @@ class DiversityEngine:
     @property
     def ordering(self) -> DiversityOrdering:
         return self._index.ordering
+
+    @property
+    def epoch(self) -> int:
+        """The index mutation epoch (see :attr:`InvertedIndex.epoch`)."""
+        return self._index.epoch
+
+    @property
+    def cache(self):
+        """The attached serving cache, or ``None``."""
+        return self._cache
+
+    def attach_cache(self, cache) -> None:
+        """Attach (or detach, with ``None``) a serving-layer cache."""
+        self._cache = cache
 
     def compile(self, query: Union[Query, str]) -> MergedList:
         """Parse (if needed) and compile a query to its merged list."""
@@ -96,15 +121,41 @@ class DiversityEngine:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
             )
+        if self._cache is not None:
+            return self._cache.search(self, query, k, algorithm, scored, optimize)
+        return self.execute(self.prepare(query, scored, optimize), k, algorithm, scored)
+
+    def prepare(
+        self,
+        query: Union[Query, str],
+        scored: bool = False,
+        optimize: bool = True,
+    ) -> Query:
+        """The plan step of :meth:`search`: parse, normalise, order.
+
+        Deterministic given the query and the current index statistics —
+        this is exactly what the serving layer's plan cache memoises.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         if optimize:
-            from ..query.estimate import order_for_leapfrog
-            from ..query.rewrite import normalise
-
             if not scored:
                 query = normalise(query)
             query = order_for_leapfrog(query, self._index)
+        return query
+
+    def execute(
+        self,
+        query: Query,
+        k: int,
+        algorithm: str = "probe",
+        scored: bool = False,
+    ) -> DiverseResult:
+        """The run step of :meth:`search`: execute an already-prepared plan.
+
+        ``query`` must be a :class:`Query` (no parsing happens here); no
+        normalisation or reordering is applied.
+        """
         merged = MergedList(query, self._index)
         stats: Dict[str, int] = {}
         scores: Optional[Dict[DeweyId, float]] = None
@@ -171,7 +222,6 @@ class DiversityEngine:
         selection over the materialised result set (the extension is a
         selection-level refinement; see `repro.core.weighted`).
         """
-        from . import baselines
         from .weighted import WeightedDiversifier
 
         if isinstance(query, str):

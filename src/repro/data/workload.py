@@ -16,6 +16,8 @@ actual selectivity*, exactly as the paper does.
 
 from __future__ import annotations
 
+import bisect
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
@@ -28,7 +30,16 @@ from ..storage.schema import AttributeKind
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Figure 4's parameter table."""
+    """Figure 4's parameter table, plus the skewed repeated-query mode.
+
+    The paper's workloads draw every query fresh; real serving traffic is
+    highly skewed, with a few popular queries repeated constantly.  Setting
+    ``distinct > 0`` switches to that regime: ``distinct`` unique queries
+    are generated up front, then ``queries`` draws are sampled from them
+    with Zipf rank frequencies (rank ``r`` drawn with probability
+    proportional to ``1 / r**zipf_s``; ``zipf_s=0`` is uniform).  This is
+    the workload shape the serving-layer caches are benchmarked against.
+    """
 
     queries: int = 5000
     predicates: int = 0          # 0 = the paper's "None" default (match all)
@@ -37,6 +48,8 @@ class WorkloadSpec:
     seed: int = 1
     disjunctive: bool = False    # OR queries (used by the scored experiments)
     weighted: bool = False       # random leaf weights (scored variants)
+    distinct: int = 0            # 0 = all-fresh; >0 = repeated-query pool size
+    zipf_s: float = 1.0          # skew exponent for the repeated-query mode
 
     def __post_init__(self):
         if self.queries < 0:
@@ -47,6 +60,10 @@ class WorkloadSpec:
             raise ValueError("selectivity must be in [0, 1]")
         if not 1 <= self.k <= 10_000:
             raise ValueError("k out of range")
+        if self.distinct < 0:
+            raise ValueError("distinct must be non-negative")
+        if self.zipf_s < 0.0:
+            raise ValueError("zipf_s must be non-negative")
 
 
 class _ValueStats:
@@ -81,8 +98,6 @@ class _ValueStats:
         frequency lies closest to the requested selectivity, drawing at
         random from a small window of near-target candidates so workloads
         vary."""
-        import bisect
-
         target = target_selectivity * self.size
         anchor = bisect.bisect_left(self._counts, target)
         window = 8
@@ -107,10 +122,35 @@ class WorkloadGenerator:
         self._stats = _ValueStats(relation)
 
     def queries(self) -> Iterator[Query]:
-        """Yield ``spec.queries`` random queries."""
+        """Yield ``spec.queries`` random queries.
+
+        With ``spec.distinct > 0``, draws come from a fixed pool of
+        ``distinct`` queries under a Zipf rank distribution (see
+        :class:`WorkloadSpec`), so popular queries repeat — the regime
+        the serving-layer caches are designed for.
+        """
         rng = random.Random(self.spec.seed)
+        if self.spec.distinct:
+            yield from self._skewed_queries(rng)
+            return
         for _ in range(self.spec.queries):
             yield self.one_query(rng)
+
+    def query_pool(self, rng: Optional[random.Random] = None) -> List[Query]:
+        """The ``spec.distinct`` unique queries of the repeated-query mode,
+        in rank order (rank 1 = most popular)."""
+        if self.spec.distinct <= 0:
+            raise ValueError("query_pool needs spec.distinct > 0")
+        if rng is None:
+            rng = random.Random(self.spec.seed)
+        return [self.one_query(rng) for _ in range(self.spec.distinct)]
+
+    def _skewed_queries(self, rng: random.Random) -> Iterator[Query]:
+        pool = self.query_pool(rng)
+        weights = [1.0 / (rank ** self.spec.zipf_s) for rank in range(1, len(pool) + 1)]
+        cumulative = list(itertools.accumulate(weights))
+        for _ in range(self.spec.queries):
+            yield pool[bisect.bisect_left(cumulative, rng.random() * cumulative[-1])]
 
     def one_query(self, rng: random.Random) -> Query:
         """Generate a single query according to the spec."""

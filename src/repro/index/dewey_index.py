@@ -21,6 +21,16 @@ from .dictionary import SiblingDictionary
 class DeweyIndex:
     """Bidirectional rid <-> Dewey ID mapping for one relation."""
 
+    __slots__ = (
+        "_relation",
+        "_ordering",
+        "_positions",
+        "_dictionary",
+        "_uniqueness",
+        "_dewey_by_rid",
+        "_rid_by_dewey",
+    )
+
     def __init__(self, relation: Relation, ordering: DiversityOrdering):
         ordering.validate_against(relation.schema)
         self._relation = relation
@@ -76,15 +86,15 @@ class DeweyIndex:
         if existing is not None:
             return existing
         row = self._relation[rid]
+        encode = self._dictionary.encode
         components: list[int] = []
-        prefix: tuple = ()
         for position in self._positions:
-            number = self._dictionary.encode(prefix, row[position])
-            components.append(number)
-            prefix = prefix + (number,)
+            components.append(encode(tuple(components), row[position]))
+        prefix = tuple(components)
         ordinal = self._uniqueness.get(prefix, 0)
         self._uniqueness[prefix] = ordinal + 1
-        dewey = tuple(components) + (ordinal,)
+        components.append(ordinal)
+        dewey = tuple(components)
         self._dewey_by_rid[rid] = dewey
         self._rid_by_dewey[dewey] = rid
         return dewey

@@ -15,6 +15,8 @@ from typing import Any, Hashable, Optional
 class SiblingDictionary:
     """value <-> sibling-number maps, keyed by parent Dewey prefix."""
 
+    __slots__ = ("_forward", "_reverse")
+
     def __init__(self):
         self._forward: dict[tuple, dict[Hashable, int]] = {}
         self._reverse: dict[tuple, list[Hashable]] = {}

@@ -31,6 +31,18 @@ _EMPTY = ArrayPostingList()
 class InvertedIndex:
     """Dewey index + posting lists for one relation."""
 
+    __slots__ = (
+        "_relation",
+        "_ordering",
+        "_backend",
+        "_dewey",
+        "_scalar",
+        "_token",
+        "_all",
+        "_text_attributes",
+        "_epoch",
+    )
+
     def __init__(
         self,
         relation: Relation,
@@ -51,6 +63,7 @@ class InvertedIndex:
             for attribute in relation.schema
             if attribute.kind is AttributeKind.TEXT
         )
+        self._epoch = 0
 
     @classmethod
     def build(
@@ -110,6 +123,13 @@ class InvertedIndex:
     @property
     def depth(self) -> int:
         return self._ordering.depth
+
+    @property
+    def epoch(self) -> int:
+        """Mutation epoch: bumped by every successful :meth:`insert` /
+        :meth:`remove`.  Caches key their entries by this counter so stale
+        results can be rejected lazily instead of flushing eagerly."""
+        return self._epoch
 
     def __len__(self) -> int:
         return len(self._all)
@@ -172,6 +192,7 @@ class InvertedIndex:
                 if postings is not None:
                     postings.remove(dewey)
         self._dewey.remove(rid)
+        self._epoch += 1
         return dewey
 
     def insert(self, rid: int) -> DeweyId:
@@ -196,4 +217,5 @@ class InvertedIndex:
                     postings = make_posting_list((), self._backend)
                     self._token[key] = postings
                 postings.insert(dewey)
+        self._epoch += 1
         return dewey

@@ -27,6 +27,8 @@ from .postings import PostingList
 class Cursor:
     """A navigable view of the Dewey IDs matching some boolean expression."""
 
+    __slots__ = ()
+
     def next(self, bound: DeweyId, direction: str = LEFT) -> Optional[DeweyId]:
         """Nearest match at-or-beyond ``bound`` in ``direction``."""
         raise NotImplementedError

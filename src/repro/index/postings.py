@@ -28,6 +28,8 @@ BACKENDS = (ARRAY_BACKEND, BPTREE_BACKEND)
 class PostingList:
     """Interface shared by both backends."""
 
+    __slots__ = ()
+
     def seek(self, dewey: DeweyId) -> Optional[DeweyId]:
         """Smallest posting >= ``dewey``, or ``None``."""
         raise NotImplementedError

@@ -1,0 +1,24 @@
+"""repro.serving — the caching/batching layer in front of the engine.
+
+An engineering extension beyond the paper (the paper computes each diverse
+top-k from scratch; see docs/paper_mapping.md): plan caching, epoch-
+invalidated LRU result caching, and batched workload execution for
+skewed, repeated-query serving traffic.
+"""
+
+from .cache import (
+    CacheStats,
+    PlanCache,
+    ResultCache,
+    ServingCache,
+)
+from .engine import BatchReport, ServingEngine
+
+__all__ = [
+    "BatchReport",
+    "CacheStats",
+    "PlanCache",
+    "ResultCache",
+    "ServingCache",
+    "ServingEngine",
+]

@@ -1,0 +1,326 @@
+"""Serving-layer caches: query plans and diverse results.
+
+Interactive shopping traffic is highly skewed — the same query strings
+arrive over and over (cf. Capannini et al., *Efficient Diversification of
+Web Search Results*, which treats caching of the diversification pipeline
+as a first-class concern).  The engine alone re-parses, re-normalises,
+re-orders and re-executes every call; this module amortises all four:
+
+* :class:`PlanCache` memoises the plan step (parse -> normalise ->
+  leapfrog ordering).  Parsing and normalisation never go stale; the
+  leapfrog ordering depends on posting-list statistics, so a plan compiled
+  under an older index epoch is *revalidated* (re-ordered only) on its next
+  hit instead of being rebuilt from scratch.
+* :class:`ResultCache` is an LRU over full :class:`DiverseResult` answers,
+  keyed by ``(canonical query, k, algorithm, scored, optimize)`` and
+  stamped with the index epoch at execution time.  ``insert``/``delete``
+  bump the epoch, so stale entries are rejected lazily on lookup — no full
+  flush, no eager scanning.
+* :class:`ServingCache` combines both behind one thread-safe ``search``
+  call and keeps exact counters (:class:`CacheStats`) that surface in
+  ``DiverseResult.stats``.
+
+The caches never change answers: a cached result is bit-identical to what
+a cache-free engine would return for the same index state (the property
+tests interleave mutations with searches to prove it).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple, Union
+
+from ..core.result import DiverseResult
+from ..query.query import Query
+from ..query.rewrite import to_query_string
+
+DEFAULT_PLAN_CAPACITY = 1024
+DEFAULT_RESULT_CAPACITY = 4096
+
+
+@dataclass
+class CacheStats:
+    """Exact serving-cache counters (monotone, cumulative)."""
+
+    hits: int = 0                   # result-cache hits (fresh epoch)
+    misses: int = 0                 # result-cache misses (incl. invalidations)
+    evictions: int = 0              # result entries dropped by LRU pressure
+    epoch_invalidations: int = 0    # stale result entries rejected on lookup
+    plan_hits: int = 0              # plan served fully from cache
+    plan_misses: int = 0            # plan compiled from scratch
+    plan_revalidations: int = 0     # plan re-ordered after an epoch bump
+    plan_evictions: int = 0         # plan entries dropped by LRU pressure
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Result-cache hit ratio over all lookups so far (0.0 when idle)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_stats_dict(self) -> Dict[str, int]:
+        """The ``cache_*`` entries merged into ``DiverseResult.stats``."""
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+            "cache_epoch_invalidations": self.epoch_invalidations,
+            "cache_plan_hits": self.plan_hits,
+            "cache_plan_misses": self.plan_misses,
+            "cache_plan_revalidations": self.plan_revalidations,
+        }
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            epoch_invalidations=self.epoch_invalidations,
+            plan_hits=self.plan_hits,
+            plan_misses=self.plan_misses,
+            plan_revalidations=self.plan_revalidations,
+            plan_evictions=self.plan_evictions,
+        )
+
+
+class _LRU:
+    """A small capacity-bounded LRU map (recency = access order)."""
+
+    __slots__ = ("_capacity", "_entries", "evictions")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        entries = self._entries
+        if key in entries:
+            entries[key] = value
+            entries.move_to_end(key)
+            return
+        if len(entries) >= self._capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+        entries[key] = value
+
+    def discard(self, key: Hashable) -> None:
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class _PlanEntry:
+    """One memoised plan: the epoch-independent base + the ordered form."""
+
+    __slots__ = ("base", "ordered", "canonical", "epoch")
+
+    def __init__(self, base: Query, ordered: Query, canonical: str, epoch: int):
+        self.base = base            # parsed (+ normalised when applicable)
+        self.ordered = ordered      # base after order_for_leapfrog
+        self.canonical = canonical  # canonical text of the *base* plan
+        self.epoch = epoch          # index epoch the ordering was computed at
+
+
+class PlanCache:
+    """Memoises ``DiversityEngine.prepare`` per canonical query.
+
+    Keys accept raw query strings (the common serving case — no parse
+    needed to hit) and :class:`Query` objects (hashable trees).  Parsing
+    and normalisation are epoch-independent and cached forever (modulo
+    LRU); the leapfrog ordering is epoch-stamped and lazily recomputed
+    from the cached base plan when the index has mutated since.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CAPACITY):
+        self._lru = _LRU(capacity)
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def evictions(self) -> int:
+        return self._lru.evictions
+
+    @staticmethod
+    def key(query: Union[Query, str], scored: bool, optimize: bool) -> Hashable:
+        return (query, scored, optimize)
+
+    def lookup(
+        self, engine, query: Union[Query, str], scored: bool, optimize: bool
+    ) -> Tuple[_PlanEntry, str]:
+        """Return ``(entry, outcome)`` where outcome is ``"hit"``,
+        ``"revalidated"`` or ``"miss"``; compiles and caches on miss."""
+        key = self.key(query, scored, optimize)
+        epoch = engine.epoch
+        entry = self._lru.get(key)
+        if entry is not None:
+            if entry.epoch == epoch or not optimize:
+                return entry, "hit"
+            # Parsing/normalisation stay valid; only the statistics-driven
+            # leapfrog ordering may have shifted.  Re-order from the base.
+            entry.ordered = engine.prepare(entry.base, scored, optimize=True)
+            entry.epoch = epoch
+            return entry, "revalidated"
+        base = query if isinstance(query, Query) else engine.prepare(query, scored, False)
+        if optimize:
+            ordered = engine.prepare(base, scored, optimize=True)
+            # Normalisation folded duplicate leaves into `ordered`; keep the
+            # same normalised tree as the base so revalidation is pure
+            # re-ordering (orderings permute, never rewrite).
+            if not scored:
+                from ..query.rewrite import normalise
+
+                base = normalise(base)
+        else:
+            ordered = base
+        entry = _PlanEntry(base, ordered, to_query_string(base), epoch)
+        self._lru.put(key, entry)
+        return entry, "miss"
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+
+class _ResultEntry:
+    __slots__ = ("result", "epoch")
+
+    def __init__(self, result: DiverseResult, epoch: int):
+        self.result = result
+        self.epoch = epoch
+
+
+class ResultCache:
+    """LRU of executed answers with epoch-based lazy invalidation."""
+
+    def __init__(self, capacity: int = DEFAULT_RESULT_CAPACITY):
+        self._lru = _LRU(capacity)
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def evictions(self) -> int:
+        return self._lru.evictions
+
+    @staticmethod
+    def key(
+        canonical: str, k: int, algorithm: str, scored: bool, optimize: bool
+    ) -> Hashable:
+        return (canonical, k, algorithm, scored, optimize)
+
+    def lookup(self, key: Hashable, epoch: int) -> Tuple[Optional[DiverseResult], bool]:
+        """Return ``(result, invalidated)``; drops stale entries lazily."""
+        entry = self._lru.get(key)
+        if entry is None:
+            return None, False
+        if entry.epoch != epoch:
+            self._lru.discard(key)
+            return None, True
+        return entry.result, False
+
+    def store(self, key: Hashable, result: DiverseResult, epoch: int) -> None:
+        self._lru.put(key, _ResultEntry(result, epoch))
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+
+class ServingCache:
+    """Plan + result caching behind one thread-safe ``search`` call.
+
+    Attach to an engine (``DiversityEngine(index, cache=ServingCache())``
+    or ``engine.attach_cache(...)``) and every ``engine.search`` routes
+    through here.  Answers are always bit-identical to an uncached engine
+    at the same index epoch; every result's ``stats`` carries a
+    ``cache_hit`` flag plus the cumulative ``cache_*`` counters.
+    """
+
+    def __init__(
+        self,
+        plan_capacity: int = DEFAULT_PLAN_CAPACITY,
+        result_capacity: int = DEFAULT_RESULT_CAPACITY,
+    ):
+        self.plans = PlanCache(plan_capacity)
+        self.results = ResultCache(result_capacity)
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+
+    def search(
+        self,
+        engine,
+        query: Union[Query, str],
+        k: int,
+        algorithm: str,
+        scored: bool,
+        optimize: bool,
+    ) -> DiverseResult:
+        """The cached equivalent of ``engine.search`` (same semantics)."""
+        stats = self.stats
+        with self._lock:
+            epoch = engine.epoch
+            plan, outcome = self.plans.lookup(engine, query, scored, optimize)
+            if outcome == "hit":
+                stats.plan_hits += 1
+            elif outcome == "revalidated":
+                stats.plan_revalidations += 1
+            else:
+                stats.plan_misses += 1
+            stats.plan_evictions = self.plans.evictions
+            key = self.results.key(plan.canonical, k, algorithm, scored, optimize)
+            cached, invalidated = self.results.lookup(key, epoch)
+            if invalidated:
+                stats.epoch_invalidations += 1
+            if cached is not None:
+                stats.hits += 1
+                return self._serve(cached, hit=True)
+            stats.misses += 1
+            ordered = plan.ordered
+        # Execute outside the lock: concurrent misses may race, but both
+        # compute the same answer for the same epoch, so last-write-wins.
+        result = engine.execute(ordered, k, algorithm, scored)
+        with self._lock:
+            if engine.epoch == epoch:
+                self.results.store(key, result, epoch)
+                self.stats.evictions = self.results.evictions
+            return self._serve(result, hit=False)
+
+    def _serve(self, result: DiverseResult, hit: bool) -> DiverseResult:
+        """Wrap a stored/fresh result with the current cache counters.
+
+        Items are immutable and shared; the stats dict is rebuilt per call
+        so callers can never corrupt a cached entry.
+        """
+        stats: Dict[str, int] = dict(result.stats)
+        stats["cache_hit"] = 1 if hit else 0
+        stats.update(self.stats.as_stats_dict())
+        return DiverseResult(
+            items=list(result.items),
+            k=result.k,
+            algorithm=result.algorithm,
+            scored=result.scored,
+            stats=stats,
+        )
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved; they are cumulative)."""
+        with self._lock:
+            self.plans.clear()
+            self.results.clear()

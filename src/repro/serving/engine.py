@@ -1,0 +1,181 @@
+"""The serving front-end: a cached engine plus batched workload execution.
+
+:class:`ServingEngine` wraps a :class:`~repro.core.engine.DiversityEngine`
+with a :class:`~repro.serving.cache.ServingCache` and adds
+:meth:`ServingEngine.search_many`, which drives a whole workload (a list of
+query strings or :class:`Query` trees) through the cache — sequentially or
+on a thread pool — and reports aggregate timings and exact cache counters.
+This is the layer a web tier would call: skewed traffic hits the caches,
+mutations bump the index epoch, stale entries die lazily.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.engine import DiversityEngine
+from ..core.result import DiverseResult
+from ..query.query import Query
+from .cache import CacheStats, ServingCache
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one :meth:`ServingEngine.search_many` run."""
+
+    results: List[DiverseResult]
+    total_seconds: float
+    queries: int
+    k: int
+    algorithm: str
+    scored: bool
+    threads: int                     # 0 = sequential execution
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_ms(self) -> float:
+        if self.queries == 0:
+            return 0.0
+        return 1000.0 * self.total_seconds / self.queries
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.queries / self.total_seconds
+
+    @property
+    def hit_ratio(self) -> float:
+        """Result-cache hit ratio within this batch alone."""
+        lookups = self.cache_stats.get("hits", 0) + self.cache_stats.get("misses", 0)
+        if lookups == 0:
+            return 0.0
+        return self.cache_stats.get("hits", 0) / lookups
+
+
+def _stats_delta(after: CacheStats, before: CacheStats) -> Dict[str, int]:
+    return {
+        "hits": after.hits - before.hits,
+        "misses": after.misses - before.misses,
+        "evictions": after.evictions - before.evictions,
+        "epoch_invalidations": after.epoch_invalidations - before.epoch_invalidations,
+        "plan_hits": after.plan_hits - before.plan_hits,
+        "plan_misses": after.plan_misses - before.plan_misses,
+        "plan_revalidations": after.plan_revalidations - before.plan_revalidations,
+    }
+
+
+class ServingEngine:
+    """A :class:`DiversityEngine` fronted by plan + result caches.
+
+    ``search``/``insert``/``delete`` delegate to the wrapped engine (with
+    the cache attached, so repeated queries short-circuit);
+    :meth:`search_many` runs whole workloads and reports throughput.
+    """
+
+    def __init__(
+        self,
+        engine: DiversityEngine,
+        cache: Optional[ServingCache] = None,
+    ):
+        self._engine = engine
+        self._cache = cache if cache is not None else ServingCache()
+        engine.attach_cache(self._cache)
+
+    @classmethod
+    def from_relation(cls, relation, ordering, backend: str = "array", **cache_options) -> "ServingEngine":
+        return cls(
+            DiversityEngine.from_relation(relation, ordering, backend=backend),
+            ServingCache(**cache_options) if cache_options else None,
+        )
+
+    @property
+    def engine(self) -> DiversityEngine:
+        return self._engine
+
+    @property
+    def cache(self) -> ServingCache:
+        return self._cache
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    @property
+    def epoch(self) -> int:
+        return self._engine.epoch
+
+    # ------------------------------------------------------------------
+    # Single-call surface (delegates, cache-mediated)
+    # ------------------------------------------------------------------
+    def search(self, query, k: int, algorithm: str = "probe", scored: bool = False,
+               optimize: bool = True) -> DiverseResult:
+        return self._engine.search(query, k, algorithm=algorithm, scored=scored,
+                                   optimize=optimize)
+
+    def insert(self, row) -> int:
+        return self._engine.insert(row)
+
+    def delete(self, rid: int) -> bool:
+        return self._engine.delete(rid)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Batched workload execution
+    # ------------------------------------------------------------------
+    def search_many(
+        self,
+        queries: Sequence[Union[Query, str]],
+        k: int = 10,
+        algorithm: str = "probe",
+        scored: bool = False,
+        optimize: bool = True,
+        threads: int = 0,
+    ) -> BatchReport:
+        """Run a whole workload through the cache, preserving input order.
+
+        ``threads=0`` executes sequentially (the default and, for this
+        CPU-bound pure-python engine, usually the fastest); ``threads>=1``
+        uses a thread pool of that size — the caches are thread-safe, and
+        concurrent misses of the same query are benign (both compute the
+        same epoch-stamped answer).  Timing covers the entire batch wall
+        clock; ``cache_stats`` is the exact counter delta of this batch.
+        """
+        if threads < 0:
+            raise ValueError("threads must be >= 0")
+        before = self._cache.stats.snapshot()
+        queries = list(queries)
+        started = time.perf_counter()
+        if threads == 0:
+            results = [
+                self._engine.search(query, k, algorithm=algorithm, scored=scored,
+                                    optimize=optimize)
+                for query in queries
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                results = list(
+                    pool.map(
+                        lambda query: self._engine.search(
+                            query, k, algorithm=algorithm, scored=scored,
+                            optimize=optimize,
+                        ),
+                        queries,
+                    )
+                )
+        total = time.perf_counter() - started
+        return BatchReport(
+            results=results,
+            total_seconds=total,
+            queries=len(queries),
+            k=k,
+            algorithm=algorithm,
+            scored=scored,
+            threads=threads,
+            cache_stats=_stats_delta(self._cache.stats, before),
+        )

@@ -80,6 +80,32 @@ class TestQuery:
         assert "(no results)" in capsys.readouterr().out
 
 
+class TestCacheFlag:
+    def test_stats_show_cache_counters_by_default(self, built_snapshot, capsys):
+        code = main(["query", str(built_snapshot), "Make = 'Honda'", "--stats"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "cache_hit" in text
+        assert "cache_misses" in text
+
+    def test_no_cache_flag_disables_counters(self, built_snapshot, capsys):
+        code = main([
+            "query", str(built_snapshot), "Make = 'Honda'", "--stats", "--no-cache",
+        ])
+        assert code == 0
+        assert "cache_hit" not in capsys.readouterr().out
+
+    def test_shell_repeated_query_hits_cache(self, built_snapshot, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("Make = 'Honda'\nMake = 'Honda'\nexit\n")
+        )
+        code = main(["shell", str(built_snapshot), "-k", "2", "--stats"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "cache_hit: 0" in text
+        assert "cache_hit: 1" in text
+
+
 class TestShell:
     def test_shell_session(self, built_snapshot, capsys, monkeypatch):
         monkeypatch.setattr(

@@ -162,3 +162,75 @@ class TestWorkloads:
         ).materialise()
         nonempty = sum(1 for q in queries if res(relation, q))
         assert nonempty >= 15
+
+
+class TestSkewedWorkloads:
+    """The Zipf repeated-query mode feeding the serving-cache benchmarks."""
+
+    def _relation(self):
+        return generate_autos(rows=200, seed=3)
+
+    def test_distinct_pool_bounds_unique_queries(self):
+        generator = WorkloadGenerator(
+            self._relation(),
+            WorkloadSpec(queries=200, predicates=1, distinct=10, zipf_s=1.0, seed=5),
+        )
+        queries = generator.materialise()
+        assert len(queries) == 200
+        assert len(set(queries)) <= 10
+
+    def test_deterministic(self):
+        spec = WorkloadSpec(queries=100, predicates=1, distinct=8, zipf_s=1.0, seed=9)
+        relation = self._relation()
+        first = WorkloadGenerator(relation, spec).materialise()
+        second = WorkloadGenerator(relation, spec).materialise()
+        assert first == second
+
+    def test_zipf_skews_toward_low_ranks(self):
+        """With s=1.0 the rank-1 query must dominate the tail rank."""
+        relation = self._relation()
+        generator = WorkloadGenerator(
+            relation,
+            WorkloadSpec(queries=2000, predicates=1, distinct=20, zipf_s=1.0, seed=11),
+        )
+        pool = generator.query_pool()
+        counts = {}
+        for query in generator.queries():
+            counts[query] = counts.get(query, 0) + 1
+        assert counts.get(pool[0], 0) > counts.get(pool[-1], 0) * 2
+
+    def test_zero_skew_is_roughly_uniform(self):
+        relation = self._relation()
+        generator = WorkloadGenerator(
+            relation,
+            WorkloadSpec(queries=2000, predicates=1, distinct=4, zipf_s=0.0, seed=13),
+        )
+        counts = {}
+        for query in generator.queries():
+            counts[query] = counts.get(query, 0) + 1
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_query_pool_requires_distinct(self):
+        generator = WorkloadGenerator(
+            self._relation(), WorkloadSpec(queries=10, predicates=1)
+        )
+        with pytest.raises(ValueError):
+            generator.query_pool()
+
+    def test_skew_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(distinct=-1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(zipf_s=-0.5)
+
+    def test_distinct_zero_keeps_legacy_behaviour(self):
+        """distinct=0 must reproduce the pre-skew workload stream exactly."""
+        relation = self._relation()
+        legacy = WorkloadGenerator(
+            relation, WorkloadSpec(queries=20, predicates=1, seed=17)
+        ).materialise()
+        rng = random.Random(17)
+        generator = WorkloadGenerator(
+            relation, WorkloadSpec(queries=20, predicates=1, seed=17)
+        )
+        assert legacy == [generator.one_query(rng) for _ in range(20)]

@@ -1,0 +1,366 @@
+"""The serving layer: plan/result caching, epoch invalidation, batching.
+
+The central contract under test: **a cached engine is answer-identical to
+an uncached engine at every index state** — caching changes timings and
+``cache_*`` stats, never items.  The property tests interleave inserts,
+deletes and searches over one shared index to prove it for all five
+algorithms, scored and unscored.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ALGORITHMS, DiversityEngine, Query
+from repro.bench.harness import run_serving_workload
+from repro.data.paper_example import figure1_ordering, figure1_relation
+from repro.data.workload import WorkloadGenerator, WorkloadSpec
+from repro.serving import BatchReport, CacheStats, ServingCache, ServingEngine
+from repro.serving.cache import PlanCache, ResultCache, _LRU
+
+from .conftest import (
+    COLORS,
+    MAKES,
+    MODELS,
+    RANDOM_ORDERING,
+    WORDS,
+    random_query,
+    random_relation,
+)
+
+
+def _paired_engines(**cache_options):
+    """One shared index, one plain engine, one cached engine."""
+    plain = DiversityEngine.from_relation(figure1_relation(), figure1_ordering())
+    cached = DiversityEngine(plain.index, cache=ServingCache(**cache_options))
+    return plain, cached
+
+
+def _answers(result):
+    """The answer payload of a result (everything but stats)."""
+    return [
+        (item.dewey, item.rid, item.values, item.score) for item in result.items
+    ]
+
+
+class TestLRU:
+    def test_capacity_evicts_oldest(self):
+        lru = _LRU(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("c", 3)
+        assert lru.get("a") is None
+        assert lru.get("b") == 2
+        assert lru.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        lru = _LRU(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")
+        lru.put("c", 3)
+        assert lru.get("a") == 1
+        assert lru.get("b") is None
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError):
+            _LRU(0)
+
+
+class TestResultCacheBehaviour:
+    def test_repeat_query_hits(self):
+        _, cached = _paired_engines()
+        first = cached.search("Make = 'Honda'", k=3)
+        second = cached.search("Make = 'Honda'", k=3)
+        assert first.stats["cache_hit"] == 0
+        assert second.stats["cache_hit"] == 1
+        assert second.stats["cache_hits"] == 1
+        assert second.stats["cache_misses"] == 1
+        assert _answers(first) == _answers(second)
+
+    def test_hit_requires_same_k_algorithm_scored(self):
+        _, cached = _paired_engines()
+        cached.search("Make = 'Honda'", k=3)
+        assert cached.search("Make = 'Honda'", k=4).stats["cache_hit"] == 0
+        assert (
+            cached.search("Make = 'Honda'", k=3, algorithm="onepass").stats["cache_hit"]
+            == 0
+        )
+        assert cached.search("Make = 'Honda'", k=3, scored=True).stats["cache_hit"] == 0
+        # The original key still hits.
+        assert cached.search("Make = 'Honda'", k=3).stats["cache_hit"] == 1
+
+    def test_equivalent_spellings_share_one_entry(self):
+        """Canonicalisation: whitespace/formatting differences hit the same
+        result entry once the plan is parsed."""
+        _, cached = _paired_engines()
+        cached.search("Make = 'Honda'", k=3)
+        other = cached.search("Make   =   'Honda'", k=3)
+        assert other.stats["cache_hit"] == 1
+
+    def test_query_object_and_string_share_one_entry(self):
+        _, cached = _paired_engines()
+        cached.search(Query.scalar("Make", "Honda"), k=3)
+        assert cached.search("Make = 'Honda'", k=3).stats["cache_hit"] == 1
+
+    def test_insert_invalidates_lazily(self):
+        plain, cached = _paired_engines()
+        cached.search("Make = 'Honda'", k=5)
+        plain.insert(("Honda", "Prelude", "Black", 1999, "classic coupe"))
+        result = cached.search("Make = 'Honda'", k=5)
+        assert result.stats["cache_hit"] == 0
+        assert result.stats["cache_epoch_invalidations"] == 1
+        assert _answers(result) == _answers(plain.search("Make = 'Honda'", k=5))
+
+    def test_delete_invalidates_lazily(self):
+        plain, cached = _paired_engines()
+        before = cached.search("Make = 'Honda'", k=5)
+        victim = before.items[0].rid
+        cached_engine_result = cached.search("Make = 'Honda'", k=5)
+        assert cached_engine_result.stats["cache_hit"] == 1
+        assert plain.delete(victim)
+        after = cached.search("Make = 'Honda'", k=5)
+        assert after.stats["cache_hit"] == 0
+        assert after.stats["cache_epoch_invalidations"] == 1
+        assert victim not in after.rids
+
+    def test_unrelated_entries_survive_by_revalidation(self):
+        """Epoch invalidation is lazy: an entry computed *after* the bump
+        is immediately servable again."""
+        plain, cached = _paired_engines()
+        cached.search("Make = 'Honda'", k=3)
+        plain.insert(("Kia", "Rio", "Red", 2005, "commuter"))
+        miss = cached.search("Make = 'Honda'", k=3)
+        assert miss.stats["cache_hit"] == 0
+        hit = cached.search("Make = 'Honda'", k=3)
+        assert hit.stats["cache_hit"] == 1
+
+    def test_eviction_counter(self):
+        _, cached = _paired_engines(result_capacity=2)
+        cached.search("Make = 'Honda'", k=1)
+        cached.search("Make = 'Honda'", k=2)
+        cached.search("Make = 'Honda'", k=3)  # evicts the k=1 entry
+        result = cached.search("Make = 'Honda'", k=1)
+        assert result.stats["cache_hit"] == 0
+        assert result.stats["cache_evictions"] >= 1
+
+    def test_result_items_are_isolated_copies(self):
+        _, cached = _paired_engines()
+        first = cached.search("Make = 'Honda'", k=3)
+        first.items.append("garbage")
+        second = cached.search("Make = 'Honda'", k=3)
+        assert second.stats["cache_hit"] == 1
+        assert "garbage" not in second.items
+
+
+class TestPlanCacheBehaviour:
+    def test_plan_hits_and_revalidation(self):
+        plain, cached = _paired_engines()
+        cached.search("Make = 'Honda' AND Color = 'Green'", k=2)
+        again = cached.search("Make = 'Honda' AND Color = 'Green'", k=2)
+        assert again.stats["cache_plan_hits"] == 1
+        plain.insert(("Honda", "Fit", "Green", 2008, "hatchback"))
+        after = cached.search("Make = 'Honda' AND Color = 'Green'", k=2)
+        # The parse/normalise work was reused; only the ordering was redone.
+        assert after.stats["cache_plan_revalidations"] == 1
+        assert after.stats["cache_plan_misses"] == 1
+
+    def test_unoptimized_plans_never_revalidate(self):
+        plain, cached = _paired_engines()
+        cached.search("Make = 'Honda'", k=2, optimize=False)
+        plain.insert(("Honda", "Fit", "Green", 2008, "hatchback"))
+        after = cached.search("Make = 'Honda'", k=2, optimize=False)
+        assert after.stats["cache_plan_hits"] == 1
+        assert after.stats["cache_plan_revalidations"] == 0
+
+    def test_plan_cache_standalone(self):
+        engine = DiversityEngine.from_relation(figure1_relation(), figure1_ordering())
+        plans = PlanCache(capacity=4)
+        entry, outcome = plans.lookup(engine, "Make = 'Honda'", False, True)
+        assert outcome == "miss"
+        entry2, outcome2 = plans.lookup(engine, "Make = 'Honda'", False, True)
+        assert outcome2 == "hit"
+        assert entry2 is entry
+        engine.insert(("Honda", "Fit", "Green", 2008, "hatchback"))
+        _, outcome3 = plans.lookup(engine, "Make = 'Honda'", False, True)
+        assert outcome3 == "revalidated"
+
+
+class TestCacheStats:
+    def test_hit_ratio(self):
+        stats = CacheStats()
+        assert stats.hit_ratio == 0.0
+        stats.hits, stats.misses = 3, 1
+        assert stats.hit_ratio == 0.75
+        assert stats.lookups == 4
+
+    def test_as_stats_dict_keys(self):
+        keys = CacheStats().as_stats_dict()
+        assert set(keys) == {
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "cache_epoch_invalidations",
+            "cache_plan_hits",
+            "cache_plan_misses",
+            "cache_plan_revalidations",
+        }
+
+    def test_clear_keeps_counters(self):
+        _, cached = _paired_engines()
+        cached.search("Make = 'Honda'", k=3)
+        cached.cache.clear()
+        result = cached.search("Make = 'Honda'", k=3)
+        assert result.stats["cache_hit"] == 0
+        assert result.stats["cache_misses"] == 2
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("scored", [False, True])
+def test_cached_engine_identical_under_mutations(algorithm, scored):
+    """Property: interleaving insert/delete/search, the cached engine's
+    answers stay bit-identical to a cache-disabled engine sharing the same
+    index — for every algorithm, scored and unscored."""
+    rng = random.Random(20080 + hash((algorithm, scored)) % 1000)
+    relation = random_relation(rng, max_rows=30)
+    plain = DiversityEngine.from_relation(relation, RANDOM_ORDERING)
+    cached = DiversityEngine(plain.index, cache=ServingCache(result_capacity=64))
+    live_rids = list(relation.live_rids()) if hasattr(relation, "live_rids") else [
+        rid for rid, _ in relation.iter_live()
+    ]
+    recent_queries = []
+    for _ in range(60):
+        action = rng.random()
+        if action < 0.12:
+            row = (
+                rng.choice(MAKES),
+                rng.choice(MODELS),
+                rng.choice(COLORS),
+                " ".join(rng.sample(WORDS, rng.randint(1, 3))),
+            )
+            live_rids.append(cached.insert(row))
+        elif action < 0.18 and live_rids:
+            cached.delete(live_rids.pop(rng.randrange(len(live_rids))))
+        else:
+            # Re-ask recent (query, k) pairs often so the cache gets hits.
+            if recent_queries and rng.random() < 0.6:
+                query, k = rng.choice(recent_queries)
+            else:
+                query = random_query(rng, weighted=scored)
+                k = rng.randint(0, 8)
+                recent_queries.append((query, k))
+            expected = plain.search(query, k, algorithm=algorithm, scored=scored)
+            actual = cached.search(query, k, algorithm=algorithm, scored=scored)
+            assert _answers(actual) == _answers(expected), (
+                f"cached answers diverged for {query!r} (k={k}, "
+                f"algorithm={algorithm}, scored={scored})"
+            )
+    # The interleave must actually have exercised the cache.
+    assert cached.cache.stats.hits > 0
+
+
+class TestServingEngine:
+    def test_search_many_preserves_order_and_counts(self):
+        serving = ServingEngine.from_relation(figure1_relation(), figure1_ordering())
+        queries = ["Make = 'Honda'", "Make = 'Toyota'", "Make = 'Honda'"]
+        report = serving.search_many(queries, k=3)
+        assert isinstance(report, BatchReport)
+        assert report.queries == 3
+        assert report.cache_stats["hits"] == 1
+        assert report.cache_stats["misses"] == 2
+        assert report.hit_ratio == pytest.approx(1 / 3)
+        assert report.results[0].deweys == report.results[2].deweys
+        assert report.total_seconds >= 0.0
+        assert report.mean_ms >= 0.0
+
+    def test_search_many_threaded_matches_sequential(self):
+        relation = figure1_relation()
+        workload = WorkloadGenerator(
+            relation,
+            WorkloadSpec(queries=40, predicates=1, distinct=8, zipf_s=1.0, seed=7),
+        ).materialise()
+        sequential = ServingEngine.from_relation(relation, figure1_ordering())
+        threaded = ServingEngine.from_relation(figure1_relation(), figure1_ordering())
+        seq_report = sequential.search_many(workload, k=4)
+        thr_report = threaded.search_many(workload, k=4, threads=4)
+        assert thr_report.threads == 4
+        assert [r.deweys for r in seq_report.results] == [
+            r.deweys for r in thr_report.results
+        ]
+
+    def test_search_many_rejects_negative_threads(self):
+        serving = ServingEngine.from_relation(figure1_relation(), figure1_ordering())
+        with pytest.raises(ValueError):
+            serving.search_many(["Make = 'Honda'"], k=3, threads=-1)
+
+    def test_delegation_and_epoch(self):
+        serving = ServingEngine.from_relation(figure1_relation(), figure1_ordering())
+        assert serving.epoch == 0
+        rid = serving.insert(("Honda", "Fit", "Green", 2008, "hatchback"))
+        assert serving.epoch == 1
+        assert serving.delete(rid)
+        assert serving.epoch == 2
+        assert serving.engine.cache is serving.cache
+
+    def test_clear_cache(self):
+        serving = ServingEngine.from_relation(figure1_relation(), figure1_ordering())
+        serving.search("Make = 'Honda'", k=3)
+        serving.clear_cache()
+        assert serving.search("Make = 'Honda'", k=3).stats["cache_hit"] == 0
+
+
+class TestHarnessIntegration:
+    def test_run_serving_workload_counts(self):
+        relation = figure1_relation()
+        serving = ServingEngine.from_relation(relation, figure1_ordering())
+        workload = WorkloadGenerator(
+            relation,
+            WorkloadSpec(queries=50, predicates=1, distinct=5, zipf_s=1.0, seed=2),
+        ).materialise()
+        timing = run_serving_workload(serving, workload, 5, "UProbe")
+        assert timing.queries == 50
+        assert timing.cache_hits + timing.cache_misses == 50
+        assert timing.cache_hits >= 40  # only 5 distinct queries
+        assert 0.0 < timing.cache_hit_ratio <= 1.0
+        warm = run_serving_workload(serving, workload, 5, "UProbe")
+        assert warm.cache_hits == 50
+        assert warm.next_calls == 0  # pure hits touch no posting lists
+
+    def test_run_serving_workload_rejects_ablation_tags(self):
+        serving = ServingEngine.from_relation(figure1_relation(), figure1_ordering())
+        with pytest.raises(ValueError):
+            run_serving_workload(serving, [], 5, "UOnePassNoSkip")
+        with pytest.raises(ValueError):
+            run_serving_workload(serving, [], 5, "NoSuchTag")
+
+
+class TestEngineFacadeHooks:
+    def test_prepare_execute_round_trip(self, cars_engine):
+        plan = cars_engine.prepare("Make = 'Honda' AND Color = 'Green'")
+        direct = cars_engine.execute(plan, 3)
+        assert _answers(direct) == _answers(
+            cars_engine.search("Make = 'Honda' AND Color = 'Green'", 3)
+        )
+
+    def test_attach_and_detach_cache(self, cars_engine):
+        cache = ServingCache()
+        cars_engine.attach_cache(cache)
+        assert cars_engine.cache is cache
+        cars_engine.search("Make = 'Honda'", k=2)
+        cars_engine.search("Make = 'Honda'", k=2)
+        assert cache.stats.hits == 1
+        cars_engine.attach_cache(None)
+        assert cars_engine.cache is None
+        assert "cache_hit" not in cars_engine.search("Make = 'Honda'", k=2).stats
+
+    def test_index_epoch_counts_mutations(self, cars_engine):
+        assert cars_engine.epoch == 0
+        rid = cars_engine.insert(("Honda", "Fit", "Green", 2008, "hatchback"))
+        assert cars_engine.epoch == 1
+        cars_engine.delete(rid)
+        assert cars_engine.epoch == 2
+        # A failed delete is not a mutation.
+        assert not cars_engine.delete(rid)
+        assert cars_engine.epoch == 2
