@@ -1,0 +1,196 @@
+"""Sharded fan-out benchmark: throughput vs. shard count and pool size.
+
+Beyond the paper (which runs each algorithm against one index): this
+measures what :mod:`repro.sharding` costs and buys when the index is
+hash-partitioned across N shards.  Two representative execution paths:
+
+* **UNaive** — the scatter-gather path: every shard computes its local
+  diverse top-k over its own (1/N-sized) row subset and the coordinator
+  re-applies Definitions 1-2 to at most ``N*k`` candidates.  The exact
+  post-processing, quadratic-ish in candidate count, shrinks per shard.
+* **UProbe** — the coordinator-driven path: the unmodified algorithm runs
+  against union cursors, each probe fanning out to all shards.  This is
+  the price of bit-identical probing answers — expect overhead, not
+  speedup, and this benchmark quantifies it.
+
+Answers are identical across every configuration (asserted), so the table
+is a pure cost comparison.  ``workers`` sizes the scatter thread pool; in
+CPython the GIL keeps pure-python fan-out roughly flat, which the numbers
+document honestly.
+
+Run under pytest (``pytest benchmarks/bench_sharding.py``) or directly
+(``python benchmarks/bench_sharding.py --out BENCH_sharding.json``).
+Scales follow ``REPRO_BENCH_ROWS`` / ``REPRO_BENCH_QUERIES``.
+"""
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import env_int, run_sharded_workload
+from repro.core.engine import DiversityEngine
+from repro.data.autos import AutosSpec, autos_ordering, generate_autos
+from repro.data.workload import WorkloadGenerator, WorkloadSpec
+from repro.index.inverted import InvertedIndex
+from repro.sharding import ShardedEngine
+
+DEFAULT_WORKLOAD_QUERIES = 200
+K = 10
+SHARD_COUNTS = (1, 2, 4, 8)
+WORKER_POOLS = (0, 4)
+TAGS = ("UNaive", "UProbe")
+
+_CACHE = {}
+
+
+def _setup(rows, queries=DEFAULT_WORKLOAD_QUERIES):
+    key = (rows, queries)
+    if key not in _CACHE:
+        relation = generate_autos(AutosSpec(rows=rows, seed=42))
+        workload = WorkloadGenerator(
+            relation,
+            WorkloadSpec(queries=queries, predicates=1, selectivity=0.5, seed=1),
+        ).materialise()
+        _CACHE[key] = (relation, workload)
+    return _CACHE[key]
+
+
+def _engine(relation, shards, workers):
+    if shards == 1:
+        return DiversityEngine(InvertedIndex.build(relation, autos_ordering()))
+    return ShardedEngine.from_relation(
+        relation, autos_ordering(), shards=shards, workers=workers
+    )
+
+
+def measure(rows, queries=DEFAULT_WORKLOAD_QUERIES):
+    """Time every (tag, shards, workers) cell; returns a JSON-able dict."""
+    relation, workload = _setup(rows, queries)
+    cells = []
+    baselines = {}
+    for tag in TAGS:
+        for shards in SHARD_COUNTS:
+            pools = (0,) if shards == 1 else WORKER_POOLS
+            for workers in pools:
+                engine = _engine(relation, shards, workers)
+                gc.collect()
+                timing = run_sharded_workload(engine, workload, K, tag)
+                if shards == 1:
+                    baselines[tag] = timing
+                baseline = baselines[tag]
+                # Sharding must never change an answer: same result count
+                # as the unsharded baseline over the identical workload.
+                assert timing.results_returned == baseline.results_returned, (
+                    f"{tag} shards={shards} returned "
+                    f"{timing.results_returned} != {baseline.results_returned}"
+                )
+                seconds = timing.total_seconds
+                cells.append(
+                    {
+                        "algorithm": tag,
+                        "shards": shards,
+                        "workers": workers,
+                        "seconds": round(seconds, 6),
+                        "queries_per_second": round(queries / seconds, 1)
+                        if seconds > 0 else float("inf"),
+                        "relative_to_1_shard": round(
+                            seconds / baseline.total_seconds, 3
+                        ) if baseline.total_seconds > 0 else float("inf"),
+                        "next_calls": timing.next_calls,
+                        "results_returned": timing.results_returned,
+                    }
+                )
+    return {
+        "benchmark": "sharding",
+        "rows": rows,
+        "queries": queries,
+        "k": K,
+        "router": "hash",
+        "python": platform.python_version(),
+        "cells": cells,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (same shape as the other benchmarks)
+# ----------------------------------------------------------------------
+try:
+    import pytest
+except ImportError:  # pragma: no cover - direct script runs without pytest
+    pytest = None
+
+if pytest is not None:
+    BENCH_ROWS = env_int("REPRO_BENCH_ROWS", 5000)
+    BENCH_QUERIES = env_int("REPRO_BENCH_QUERIES", DEFAULT_WORKLOAD_QUERIES)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS[1:])
+    def test_sharded_results_match_unsharded_at_scale(shards):
+        relation, workload = _setup(BENCH_ROWS, BENCH_QUERIES)
+        plain = DiversityEngine(InvertedIndex.build(relation, autos_ordering()))
+        sharded = ShardedEngine.from_relation(
+            relation, autos_ordering(), shards=shards, workers=4
+        )
+        for query in workload[: min(20, len(workload))]:
+            for tag, scored in (("naive", False), ("probe", False), ("probe", True)):
+                a = plain.search(query, K, algorithm=tag, scored=scored)
+                b = sharded.search(query, K, algorithm=tag, scored=scored)
+                assert a.deweys == b.deweys and a.scores == b.scores
+
+    def test_scatter_gather_throughput(benchmark):
+        relation, workload = _setup(BENCH_ROWS, BENCH_QUERIES)
+        engine = ShardedEngine.from_relation(relation, autos_ordering(), shards=4)
+        benchmark.group = f"sharding rows={BENCH_ROWS}"
+        timing = benchmark.pedantic(
+            run_sharded_workload, args=(engine, workload, K, "UNaive"),
+            rounds=2, iterations=1,
+        )
+        assert timing.shards == 4
+
+
+# ----------------------------------------------------------------------
+# Script entry point: print + persist the scaling table
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=env_int("REPRO_BENCH_ROWS", 5000))
+    parser.add_argument(
+        "--queries", type=int,
+        default=env_int("REPRO_BENCH_QUERIES", DEFAULT_WORKLOAD_QUERIES),
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the JSON report here (e.g. BENCH_sharding.json)",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    report = measure(args.rows, args.queries)
+    elapsed = time.perf_counter() - started
+
+    print(
+        f"sharded fan-out @ {args.rows} rows, {args.queries} queries, k={K}:"
+    )
+    print(f"  {'algorithm':<10} {'shards':>6} {'workers':>7} "
+          f"{'seconds':>9} {'q/s':>8} {'vs 1 shard':>10}")
+    for cell in report["cells"]:
+        print(
+            f"  {cell['algorithm']:<10} {cell['shards']:>6} "
+            f"{cell['workers']:>7} {cell['seconds']:>9.3f} "
+            f"{cell['queries_per_second']:>8.1f} "
+            f"{cell['relative_to_1_shard']:>9.2f}x"
+        )
+    print(f"  [measured in {elapsed:.1f}s]")
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"  wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

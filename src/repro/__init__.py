@@ -47,6 +47,14 @@ from .query.query import Query
 from .query.rewrite import normalise, to_query_string
 from .query.scoring import coarsen_weights, idf_weights, scale_weights
 from .serving import BatchReport, CacheStats, ServingCache, ServingEngine
+from .sharding import (
+    HashRouter,
+    RangeRouter,
+    ShardedEngine,
+    ShardedIndex,
+    diverse_merge,
+    scored_diverse_merge,
+)
 from .storage.catalog import Catalog
 from .storage.relation import Relation
 from .storage.schema import Attribute, AttributeKind, Schema
@@ -78,6 +86,10 @@ __all__ = [
     "Schema",
     "ServingCache",
     "ServingEngine",
+    "HashRouter",
+    "RangeRouter",
+    "ShardedEngine",
+    "ShardedIndex",
     "DiversePaginator",
     "DiverseView",
     "RelaxedResult",
@@ -86,6 +98,7 @@ __all__ = [
     "WeightedDiversifier",
     "balance_violations",
     "coarsen_weights",
+    "diverse_merge",
     "diverse_subset",
     "estimate_cardinality",
     "estimate_selectivity",
@@ -109,6 +122,7 @@ __all__ = [
     "symmetric_search",
     "to_query_string",
     "probe_unscored",
+    "scored_diverse_merge",
     "scored_diverse_subset",
     "wand_topk",
     "waterfill",

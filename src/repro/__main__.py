@@ -35,6 +35,7 @@ from .index.snapshot import load_index, save_index
 from .core.ordering import DiversityOrdering
 from .query.parser import QueryParseError, parse_query
 from .serving import ServingCache
+from .sharding import ShardedEngine, ShardedIndex
 from .storage.csvio import read_csv
 
 
@@ -95,10 +96,38 @@ def _query_options(parser: argparse.ArgumentParser) -> None:
         default=True,
         help="serve repeated queries from the plan/result caches",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition the index across N shards and answer by fan-out + "
+        "diverse-merge (answers are identical to --shards 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="thread-pool size for the sharded fan-out (0 = sequential)",
+    )
 
 
 def _make_engine(index, args) -> DiversityEngine:
-    engine = DiversityEngine(index)
+    shards = getattr(args, "shards", 1)
+    if shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        raise SystemExit(2)
+    if shards > 1:
+        # Re-partition the loaded single index: snapshots store one index,
+        # sharding is a deployment decision made at serve time.
+        index = ShardedIndex.build(
+            index.relation, index.ordering, shards=shards, backend=index.backend
+        )
+        engine: DiversityEngine = ShardedEngine(
+            index, workers=getattr(args, "workers", 0)
+        )
+    else:
+        engine = DiversityEngine(index)
     if getattr(args, "cache", False):
         engine.attach_cache(ServingCache())
     return engine
@@ -165,9 +194,8 @@ def _cmd_shell(args) -> int:
 
 
 def _cmd_demo(args) -> int:
-    engine = DiversityEngine.from_relation(figure1_relation(), figure1_ordering())
-    if getattr(args, "cache", False):
-        engine.attach_cache(ServingCache())
+    index = InvertedIndex.build(figure1_relation(), figure1_ordering())
+    engine = _make_engine(index, args)
     print("Figure 1(a) Cars relation (15 rows), "
           "ordering Make < Model < Color < Year < Description\n")
     return _run_query(engine, args, args.text)

@@ -65,6 +65,8 @@ class WorkloadTiming:
     cache_misses: int = 0
     cache_evictions: int = 0
     cache_epoch_invalidations: int = 0
+    shards: int = 1                  # index partitions (1 = unsharded)
+    workers: int = 0                 # fan-out thread pool (0 = sequential)
 
     @property
     def mean_ms(self) -> float:
@@ -227,6 +229,54 @@ def run_serving_workload(
         cache_misses=report.cache_stats.get("misses", 0),
         cache_evictions=report.cache_stats.get("evictions", 0),
         cache_epoch_invalidations=report.cache_stats.get("epoch_invalidations", 0),
+    )
+
+
+def run_sharded_workload(
+    engine,
+    queries: Sequence[Query],
+    k: int,
+    tag: str,
+) -> WorkloadTiming:
+    """Run a workload through a (sharded or plain) engine, cache-free.
+
+    Accepts any :class:`~repro.core.engine.DiversityEngine` — in particular
+    :class:`repro.sharding.ShardedEngine` — and times ``prepare`` +
+    ``execute`` per query, mirroring :func:`run_workload`'s methodology so
+    sharded and unsharded timings compare directly.  Attached caches are
+    bypassed: this measures the fan-out hot path itself.
+    """
+    if tag not in ALGORITHM_TAGS:
+        raise ValueError(
+            f"unknown algorithm tag {tag!r}; choose from {sorted(ALGORITHM_TAGS)}"
+        )
+    name, scored = ALGORITHM_TAGS[tag]
+    if name not in ("naive", "basic", "onepass", "probe", "multq"):
+        raise ValueError(f"algorithm tag {tag!r} has no engine-level equivalent")
+    total = 0.0
+    returned = 0
+    next_calls = 0
+    scored_next_calls = 0
+    issued = 0
+    for query in queries:
+        start = time.perf_counter()
+        plan = engine.prepare(query, scored)
+        result = engine.execute(plan, k, name, scored)
+        total += time.perf_counter() - start
+        returned += len(result)
+        next_calls += result.stats.get("next_calls", 0)
+        scored_next_calls += result.stats.get("scored_next_calls", 0)
+        issued += result.stats.get("queries_issued", 0)
+    return WorkloadTiming(
+        algorithm=tag,
+        total_seconds=total,
+        queries=len(queries),
+        results_returned=returned,
+        next_calls=next_calls,
+        scored_next_calls=scored_next_calls,
+        queries_issued=issued,
+        shards=getattr(engine, "num_shards", 1),
+        workers=getattr(engine, "workers", 0),
     )
 
 

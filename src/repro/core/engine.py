@@ -39,6 +39,55 @@ from .result import DiverseResult, ResultItem
 ALGORITHMS = ("onepass", "probe", "naive", "basic", "multq")
 
 
+def run_algorithm(
+    index,
+    query: Query,
+    k: int,
+    algorithm: str = "probe",
+    scored: bool = False,
+):
+    """Execute one prepared query with one algorithm; the engine-agnostic core.
+
+    ``index`` is anything implementing the :class:`InvertedIndex` read
+    protocol (including :class:`repro.sharding.ShardedIndex` — the
+    algorithms only observe ``next`` results, which the protocol fixes).
+    Returns ``(deweys, scores, stats)`` where ``scores`` is ``None`` for
+    unscored runs.
+    """
+    merged = MergedList(query, index)
+    stats: Dict[str, int] = {}
+    scores: Optional[Dict[DeweyId, float]] = None
+    if algorithm == "multq":
+        if scored:
+            scores, issued = baselines.multq_scored(index, query, k)
+            deweys = sorted(scores)
+        else:
+            deweys, issued = baselines.multq_unscored(index, query, k)
+        stats["queries_issued"] = issued
+    elif scored:
+        if algorithm == "onepass":
+            scores = one_pass_scored(merged, k)
+        elif algorithm == "probe":
+            scores = probe_scored(merged, k)
+        elif algorithm == "naive":
+            scores = baselines.naive_scored(merged, k)
+        else:
+            scores = baselines.basic_scored(merged, k)
+        deweys = sorted(scores)
+    else:
+        if algorithm == "onepass":
+            deweys = one_pass_unscored(merged, k)
+        elif algorithm == "probe":
+            deweys = probe_unscored(merged, k)
+        elif algorithm == "naive":
+            deweys = baselines.naive_unscored(merged, k)
+        else:
+            deweys = baselines.basic_unscored(merged, k)
+    stats["next_calls"] = merged.next_calls
+    stats["scored_next_calls"] = merged.scored_next_calls
+    return deweys, scores, stats
+
+
 class DiversityEngine:
     """Diverse top-k search over one indexed relation.
 
@@ -156,37 +205,19 @@ class DiversityEngine:
         ``query`` must be a :class:`Query` (no parsing happens here); no
         normalisation or reordering is applied.
         """
-        merged = MergedList(query, self._index)
-        stats: Dict[str, int] = {}
-        scores: Optional[Dict[DeweyId, float]] = None
-        if algorithm == "multq":
-            if scored:
-                scores, issued = baselines.multq_scored(self._index, query, k)
-                deweys = sorted(scores)
-            else:
-                deweys, issued = baselines.multq_unscored(self._index, query, k)
-            stats["queries_issued"] = issued
-        elif scored:
-            if algorithm == "onepass":
-                scores = one_pass_scored(merged, k)
-            elif algorithm == "probe":
-                scores = probe_scored(merged, k)
-            elif algorithm == "naive":
-                scores = baselines.naive_scored(merged, k)
-            else:
-                scores = baselines.basic_scored(merged, k)
-            deweys = sorted(scores)
-        else:
-            if algorithm == "onepass":
-                deweys = one_pass_unscored(merged, k)
-            elif algorithm == "probe":
-                deweys = probe_unscored(merged, k)
-            elif algorithm == "naive":
-                deweys = baselines.naive_unscored(merged, k)
-            else:
-                deweys = baselines.basic_unscored(merged, k)
-        stats["next_calls"] = merged.next_calls
-        stats["scored_next_calls"] = merged.scored_next_calls
+        deweys, scores, stats = run_algorithm(self._index, query, k, algorithm, scored)
+        return self._package(deweys, scores, stats, k, algorithm, scored)
+
+    def _package(
+        self,
+        deweys,
+        scores: Optional[Dict[DeweyId, float]],
+        stats: Dict[str, int],
+        k: int,
+        algorithm: str,
+        scored: bool,
+    ) -> DiverseResult:
+        """Materialise selected Dewey IDs into a sorted :class:`DiverseResult`."""
         items = [self._materialise(dewey, scores) for dewey in deweys]
         if scored:
             items.sort(key=lambda item: (-(item.score or 0.0), item.dewey))

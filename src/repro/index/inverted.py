@@ -48,13 +48,17 @@ class InvertedIndex:
         relation: Relation,
         ordering: DiversityOrdering,
         backend: str = ARRAY_BACKEND,
+        dewey: Optional[DeweyIndex] = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
         self._relation = relation
         self._ordering = ordering
         self._backend = backend
-        self._dewey = DeweyIndex(relation, ordering)
+        # ``dewey`` lets several indexes share one Dewey assignment: a
+        # sharded deployment keeps a single global DeweyIndex so that every
+        # shard speaks the same Dewey coordinates (see repro.sharding).
+        self._dewey = dewey if dewey is not None else DeweyIndex(relation, ordering)
         self._scalar: dict[tuple[str, Any], PostingList] = {}
         self._token: dict[tuple[str, str], PostingList] = {}
         self._all: PostingList = make_posting_list((), backend)
@@ -71,24 +75,36 @@ class InvertedIndex:
         relation: Relation,
         ordering: DiversityOrdering,
         backend: str = ARRAY_BACKEND,
+        dewey: Optional[DeweyIndex] = None,
+        rids: Optional[Iterable[int]] = None,
     ) -> "InvertedIndex":
-        """Offline index generation (the paper's build module, Section V-A)."""
-        index = cls(relation, ordering, backend=backend)
-        index._dewey = DeweyIndex.build(relation, ordering)
+        """Offline index generation (the paper's build module, Section V-A).
+
+        ``dewey`` adopts an existing (shared) Dewey assignment instead of
+        building a fresh one; ``rids`` restricts the posting lists to a
+        subset of rows — together they let :class:`repro.sharding.ShardedIndex`
+        build per-shard indexes that all live in one global Dewey space.
+        """
+        index = cls(relation, ordering, backend=backend, dewey=dewey)
+        if dewey is None:
+            index._dewey = DeweyIndex.build(relation, ordering)
+        keep = None if rids is None else set(rids)
         scalar_acc: dict[tuple[str, Any], list[DeweyId]] = {}
         token_acc: dict[tuple[str, str], list[DeweyId]] = {}
         everything: list[DeweyId] = []
         names = relation.schema.names
-        for dewey in index._dewey.all_deweys():
-            rid = index._dewey.rid_of(dewey)
+        for dewey_id in index._dewey.all_deweys():
+            rid = index._dewey.rid_of(dewey_id)
+            if keep is not None and rid not in keep:
+                continue
             row = relation[rid]
-            everything.append(dewey)
+            everything.append(dewey_id)
             for name, value in zip(names, row):
-                scalar_acc.setdefault((name, value), []).append(dewey)
+                scalar_acc.setdefault((name, value), []).append(dewey_id)
             for name in index._text_attributes:
                 text = relation.value(rid, name)
                 for token in token_set(text):
-                    token_acc.setdefault((name, token), []).append(dewey)
+                    token_acc.setdefault((name, token), []).append(dewey_id)
         # The accumulators were filled in Dewey order, so lists are sorted.
         index._scalar = {
             key: make_posting_list(postings, backend)

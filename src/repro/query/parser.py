@@ -149,15 +149,24 @@ def _parse_predicate(stream: _Tokens) -> Query:
         stream.pop()
         value = _parse_literal(stream)
         weight = _parse_weight(stream)
-        return Query.scalar(attribute, value, weight=weight)
+        return _build_leaf(Query.scalar, attribute, value, weight)
     if token[0] == "word" and token[1].lower() == "contains":
         stream.pop()
         value = _parse_literal(stream)
         weight = _parse_weight(stream)
-        return Query.keyword(attribute, str(value), weight=weight)
+        return _build_leaf(Query.keyword, attribute, str(value), weight)
     raise QueryParseError(
         f"expected '=' or CONTAINS after {attribute!r}, got {token[1]!r}"
     )
+
+
+def _build_leaf(factory, attribute: str, value: Any, weight: float) -> Query:
+    """Construct a leaf, reporting semantic rejections (token-free keyword
+    text, negative weights) as parse errors of the input text."""
+    try:
+        return factory(attribute, value, weight=weight)
+    except ValueError as error:
+        raise QueryParseError(str(error)) from None
 
 
 def _parse_literal(stream: _Tokens) -> Any:

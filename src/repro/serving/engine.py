@@ -86,11 +86,33 @@ class ServingEngine:
         engine.attach_cache(self._cache)
 
     @classmethod
-    def from_relation(cls, relation, ordering, backend: str = "array", **cache_options) -> "ServingEngine":
-        return cls(
-            DiversityEngine.from_relation(relation, ordering, backend=backend),
-            ServingCache(**cache_options) if cache_options else None,
-        )
+    def from_relation(
+        cls,
+        relation,
+        ordering,
+        backend: str = "array",
+        shards: int = 1,
+        router="hash",
+        workers: int = 0,
+        **cache_options,
+    ) -> "ServingEngine":
+        """Build a serving engine; ``shards > 1`` builds a sharded deployment.
+
+        The sharded engine keeps per-shard mutation epochs (``insert``/
+        ``delete`` route to one shard and bump only its counter); the
+        caches key on the summed epoch, so the PR 1 invalidation contract
+        holds unchanged.  ``workers`` sizes the scatter-gather thread pool.
+        """
+        if shards > 1:
+            from ..sharding import ShardedEngine
+
+            engine = ShardedEngine.from_relation(
+                relation, ordering, shards=shards, backend=backend,
+                router=router, workers=workers,
+            )
+        else:
+            engine = DiversityEngine.from_relation(relation, ordering, backend=backend)
+        return cls(engine, ServingCache(**cache_options) if cache_options else None)
 
     @property
     def engine(self) -> DiversityEngine:

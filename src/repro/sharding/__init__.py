@@ -1,0 +1,38 @@
+"""Horizontal scaling: shard the index, fan out queries, diverse-merge.
+
+The paper's algorithms (Sections III-IV) operate per index; this package
+scales them horizontally while keeping every answer bit-identical to an
+unsharded engine:
+
+* :mod:`~repro.sharding.router` — rows are routed on the diversity
+  ordering's top attribute, so sibling (level-1) subtrees co-locate.
+* :mod:`~repro.sharding.sharded_index` — N inverted-index shards sharing
+  one global Dewey assignment, behind the single-index read protocol.
+* :mod:`~repro.sharding.merge` — the diverse-merge step: Definitions 1-2
+  re-applied to the union of per-shard diverse top-k candidates.
+* :mod:`~repro.sharding.engine` — the fan-out engine (sequential or
+  thread-pool), cache-compatible with the serving layer.
+
+Correctness is proven empirically by ``tests/test_sharding_differential.py``
+and argued in ``docs/paper_mapping.md``.
+"""
+
+from .engine import GATHER_ALGORITHMS, ShardedEngine
+from .merge import diverse_merge, merge_first_k, scored_diverse_merge
+from .router import HashRouter, RangeRouter, ROUTERS, ShardRouter, make_router
+from .sharded_index import ShardedIndex, UnionPostingView
+
+__all__ = [
+    "GATHER_ALGORITHMS",
+    "HashRouter",
+    "RangeRouter",
+    "ROUTERS",
+    "ShardRouter",
+    "ShardedEngine",
+    "ShardedIndex",
+    "UnionPostingView",
+    "diverse_merge",
+    "make_router",
+    "merge_first_k",
+    "scored_diverse_merge",
+]

@@ -1,0 +1,193 @@
+"""The sharded serving engine: fan-out, per-shard top-k, diverse-merge.
+
+:class:`ShardedEngine` is a :class:`~repro.core.engine.DiversityEngine`
+over a :class:`~repro.sharding.sharded_index.ShardedIndex`.  Two execution
+strategies, picked per algorithm so every answer stays bit-identical to an
+unsharded engine:
+
+* **Scatter-gather** (``naive``, and unscored ``basic``): the query fans
+  out to all shards — sequentially or on a thread pool (``workers``) —
+  each shard computes its *local* diverse top-k (the canonical Definitions
+  1-2 selection over its rows), and the coordinator re-applies Definitions
+  1-2 to the union (:mod:`repro.sharding.merge`).  Subtree co-location +
+  the shared Dewey space make each shard's answer a superset of its
+  contribution to the global answer, so the merge is exact.
+
+* **Coordinator-driven scan** (``onepass``, ``probe``, scored ``basic``,
+  ``multq``): these algorithms' outputs depend on the scan/probing order
+  over the merged list, not just on the match set — a maximally diverse
+  subset is not unique, and one-pass keeps whichever representative it
+  meets first.  Gathering per-shard one-pass answers and re-merging would
+  return a *valid* diverse set but not *the* set the unsharded scan
+  returns.  Instead the unmodified algorithm runs on the coordinator
+  against the sharded index's union cursors: every ``next`` probe fans out
+  to all shards and takes the min/max — a distributed leapfrog whose probe
+  responses (and therefore whose answers, probe counts included) are
+  identical to the unsharded run.
+
+Mutations (``insert``/``delete``) route to exactly one shard and bump only
+that shard's epoch; the serving caches of PR 1 attach unchanged, keying on
+the global (summed) epoch.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core import baselines
+from ..core.dewey import DeweyId
+from ..core.diversify import diverse_subset, scored_diverse_subset
+from ..core.engine import ALGORITHMS, DiversityEngine
+from ..core.ordering import DiversityOrdering
+from ..core.result import DiverseResult
+from ..index.inverted import InvertedIndex
+from ..index.merged import MergedList
+from ..index.postings import ARRAY_BACKEND
+from ..query.query import Query
+from ..storage.relation import Relation
+from .merge import diverse_merge, merge_first_k, scored_diverse_merge
+from .router import ShardRouter
+from .sharded_index import ShardedIndex
+
+#: Algorithms served by scatter-gather + diverse-merge (their unsharded
+#: output is the canonical Definitions 1-2 selection, which the merge
+#: reconstructs exactly); the rest run coordinator-driven.
+GATHER_ALGORITHMS = ("naive", "basic")
+
+
+class ShardedEngine(DiversityEngine):
+    """Diverse top-k over a sharded index, answer-identical to unsharded.
+
+    ``workers`` > 1 fans scatter-gather queries out on a thread pool of
+    that size (0 or 1 = sequential).  Everything else — caching, prepare/
+    execute split, weighted search, explain — is inherited: the sharded
+    index implements the single-index read protocol.
+    """
+
+    def __init__(
+        self,
+        index: ShardedIndex,
+        cache=None,
+        workers: int = 0,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        super().__init__(index, cache=cache)
+        self._workers = workers
+
+    @classmethod
+    def from_relation(
+        cls,
+        relation: Relation,
+        ordering: Union[DiversityOrdering, Sequence[str]],
+        shards: int = 2,
+        backend: str = ARRAY_BACKEND,
+        router: Union[str, ShardRouter] = "hash",
+        cache=None,
+        workers: int = 0,
+    ) -> "ShardedEngine":
+        """Build the sharded index (offline step) and wrap it in an engine."""
+        index = ShardedIndex.build(
+            relation, ordering, shards=shards, backend=backend, router=router
+        )
+        return cls(index, cache=cache, workers=workers)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def sharded_index(self) -> ShardedIndex:
+        return self._index
+
+    @property
+    def num_shards(self) -> int:
+        return self._index.num_shards
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def shard_epochs(self) -> List[int]:
+        return self._index.shard_epochs()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: Query,
+        k: int,
+        algorithm: str = "probe",
+        scored: bool = False,
+    ) -> DiverseResult:
+        """Sharded execution of an already-prepared plan.
+
+        Scatter-gather for the canonical algorithms, coordinator-driven
+        union-cursor scan (inherited) for the scan-order-dependent ones.
+        """
+        if algorithm == "naive":
+            return self._execute_gather_naive(query, k, scored)
+        if algorithm == "basic" and not scored:
+            return self._execute_gather_basic(query, k)
+        return super().execute(query, k, algorithm, scored)
+
+    def _fan_out(self, task) -> list:
+        """Run ``task(shard_index)`` for every shard, possibly on a pool."""
+        shards = self._index.shards
+        if self._workers > 1 and len(shards) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(self._workers, len(shards))
+            ) as pool:
+                return list(pool.map(task, shards))
+        return [task(shard) for shard in shards]
+
+    def _execute_gather_naive(
+        self, query: Query, k: int, scored: bool
+    ) -> DiverseResult:
+        """Per-shard canonical diverse top-k, then Definitions 1-2 re-merge."""
+
+        def local_topk(shard: InvertedIndex):
+            merged = MergedList(query, shard)
+            if scored:
+                matches = baselines.collect_all_scored(merged)
+                chosen = scored_diverse_subset(matches, k)
+                local: Union[Dict[DeweyId, float], List[DeweyId]] = {
+                    dewey: matches[dewey] for dewey in chosen
+                }
+            else:
+                local = diverse_subset(baselines.collect_all(merged), k)
+            return local, merged.next_calls, merged.scored_next_calls
+
+        gathered = self._fan_out(local_topk)
+        candidates = [local for local, _, _ in gathered]
+        stats = self._gather_stats(gathered, candidates)
+        if scored:
+            scores = scored_diverse_merge(candidates, k)
+            deweys = sorted(scores)
+        else:
+            scores = None
+            deweys = diverse_merge(candidates, k)
+        return self._package(deweys, scores, stats, k, "naive", scored)
+
+    def _execute_gather_basic(self, query: Query, k: int) -> DiverseResult:
+        """Per-shard first-k, merged to the global document-order first-k."""
+
+        def local_firstk(shard: InvertedIndex):
+            merged = MergedList(query, shard)
+            local = baselines.basic_unscored(merged, k)
+            return local, merged.next_calls, merged.scored_next_calls
+
+        gathered = self._fan_out(local_firstk)
+        candidates = [local for local, _, _ in gathered]
+        stats = self._gather_stats(gathered, candidates)
+        deweys = merge_first_k(candidates, k)
+        return self._package(deweys, None, stats, k, "basic", False)
+
+    def _gather_stats(self, gathered, candidates) -> Dict[str, int]:
+        return {
+            "next_calls": sum(calls for _, calls, _ in gathered),
+            "scored_next_calls": sum(calls for _, _, calls in gathered),
+            "shards_queried": len(gathered),
+            "merge_candidates": sum(len(local) for local in candidates),
+        }

@@ -1,0 +1,62 @@
+"""The diverse-merge step: Definitions 1-2 re-applied to shard candidates.
+
+Each shard answers a diverse top-k over *its* rows; the coordinator unions
+those candidate sets and re-runs the exact diverse-subset selection (the
+same top-down water-fill as ``repro.core.diversify``, i.e. Definitions 1-2
+of the paper) over the union.  Because
+
+* rows are routed on the level-1 diversity value (whole level-1 subtrees
+  per shard, :mod:`repro.sharding.router`),
+* all shards share one global Dewey assignment
+  (:mod:`repro.sharding.sharded_index`), and
+* each shard returns its *canonical* local diverse top-k (water-fill with
+  smallest-Dewey tie-breaks, budget ``min(k, |local matches|)``),
+
+each shard's candidate set is a superset of its contribution to the global
+answer, so the merged selection is bit-identical to running the unsharded
+engine over all rows — the property the differential test harness
+(``tests/test_sharding_differential.py``) checks exhaustively.  The
+correctness argument is spelled out in ``docs/paper_mapping.md``.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Dict, Iterable, List
+
+from ..core.dewey import DeweyId
+from ..core.diversify import diverse_subset, scored_diverse_subset
+
+
+def diverse_merge(candidate_sets: Iterable[Iterable[DeweyId]], k: int) -> List[DeweyId]:
+    """Merge per-shard unscored diverse top-k sets into the global top-k.
+
+    Re-applies Definition 2 (maximally diverse subset) to the union; the
+    shards partition the rows, so the union is duplicate-free.
+    """
+    return diverse_subset(chain.from_iterable(candidate_sets), k)
+
+
+def scored_diverse_merge(
+    candidate_sets: Iterable[Dict[DeweyId, float]], k: int
+) -> Dict[DeweyId, float]:
+    """Merge per-shard scored diverse top-k maps into the global top-k.
+
+    Re-applies the scored Definition 2: everything above the union's k-th
+    best score is forced in, the tied tier is completed diversely.
+    """
+    union: Dict[DeweyId, float] = {}
+    for candidates in candidate_sets:
+        union.update(candidates)
+    chosen = scored_diverse_subset(union, k)
+    return {dewey: union[dewey] for dewey in chosen}
+
+
+def merge_first_k(candidate_sets: Iterable[Iterable[DeweyId]], k: int) -> List[DeweyId]:
+    """Merge per-shard first-k candidate lists into the global first-k.
+
+    The Basic baseline has no diversity step: the global first k matches in
+    document order are the k smallest members of the union of per-shard
+    first-k lists (each shard's list covers its own document-order prefix).
+    """
+    return sorted(chain.from_iterable(candidate_sets))[:k]

@@ -1,0 +1,279 @@
+"""A horizontally partitioned inverted index in one global Dewey space.
+
+:class:`ShardedIndex` splits a relation's rows across N independent
+:class:`~repro.index.inverted.InvertedIndex` shards.  Three design points
+make it a drop-in replacement for a single index:
+
+* **One global Dewey assignment.**  All shards share a single
+  :class:`~repro.index.dewey_index.DeweyIndex`, so a Dewey ID means the
+  same tuple everywhere — shard answers can be unioned, merged, and
+  materialised without translation, and are bit-identical to an unsharded
+  build over the same rows in the same order.
+* **Subtree co-location.**  Rows are routed on the value of the diversity
+  ordering's *top* attribute (:mod:`repro.sharding.router`), so every
+  level-1 subtree of the global Dewey tree lives wholly inside one shard —
+  the invariant the diverse-merge correctness argument rests on.
+* **The InvertedIndex read protocol.**  ``scalar_postings`` /
+  ``token_postings`` / ``all_postings`` return k-way *union views* over the
+  per-shard posting lists (level-1 lookups route straight to their owning
+  shard).  Every existing consumer — the merged-list cursors, the
+  selectivity estimator, WAND, MultQ's vocabulary enumeration — runs
+  unmodified on a :class:`ShardedIndex`, and since the algorithms only
+  observe ``seek``/``seek_floor`` results, their answers are identical to
+  the unsharded engine's.
+
+Mutations route to exactly one shard and bump only that shard's epoch;
+the global ``epoch`` (the sum) preserves the serving-cache invalidation
+contract of PR 1.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator, List, Optional, Sequence, Union
+
+from ..core.dewey import DeweyId
+from ..core.ordering import DiversityOrdering
+from ..index.dewey_index import DeweyIndex
+from ..index.inverted import InvertedIndex
+from ..index.postings import ARRAY_BACKEND, PostingList
+from ..storage.relation import Relation
+from .router import ShardRouter, make_router
+
+
+class UnionPostingView(PostingList):
+    """A read-only posting list presenting several shard lists as one.
+
+    The shards partition the postings, so ``seek`` is the minimum of the
+    per-shard seeks (and ``seek_floor`` the maximum) — each a logarithmic
+    probe.  Mutations go through the owning shard, never through the view.
+    """
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, parts: Sequence[PostingList]):
+        self._parts = parts
+
+    def seek(self, dewey: DeweyId) -> Optional[DeweyId]:
+        best: Optional[DeweyId] = None
+        for part in self._parts:
+            found = part.seek(dewey)
+            if found is not None and (best is None or found < best):
+                best = found
+        return best
+
+    def seek_floor(self, dewey: DeweyId) -> Optional[DeweyId]:
+        best: Optional[DeweyId] = None
+        for part in self._parts:
+            found = part.seek_floor(dewey)
+            if found is not None and (best is None or found > best):
+                best = found
+        return best
+
+    def first(self) -> Optional[DeweyId]:
+        candidates = [part.first() for part in self._parts]
+        candidates = [dewey for dewey in candidates if dewey is not None]
+        return min(candidates) if candidates else None
+
+    def last(self) -> Optional[DeweyId]:
+        candidates = [part.last() for part in self._parts]
+        candidates = [dewey for dewey in candidates if dewey is not None]
+        return max(candidates) if candidates else None
+
+    def insert(self, dewey: DeweyId) -> None:
+        raise TypeError("union posting views are read-only; route to a shard")
+
+    def remove(self, dewey: DeweyId) -> bool:
+        raise TypeError("union posting views are read-only; route to a shard")
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self._parts)
+
+    def __iter__(self) -> Iterator[DeweyId]:
+        return heapq.merge(*self._parts)
+
+    def __repr__(self) -> str:
+        return f"UnionPostingView({len(self._parts)} parts, {len(self)} postings)"
+
+
+class ShardedIndex:
+    """N inverted-index shards behind the single-index read protocol."""
+
+    __slots__ = (
+        "_relation",
+        "_ordering",
+        "_backend",
+        "_dewey",
+        "_router",
+        "_shards",
+        "_route_position",
+    )
+
+    def __init__(
+        self,
+        relation: Relation,
+        ordering: DiversityOrdering,
+        shards: int = 2,
+        backend: str = ARRAY_BACKEND,
+        router: Union[str, ShardRouter] = "hash",
+    ):
+        if not isinstance(ordering, DiversityOrdering):
+            ordering = DiversityOrdering(ordering)
+        if shards < 1:
+            raise ValueError("shard count must be positive")
+        self._relation = relation
+        self._ordering = ordering
+        self._backend = backend
+        self._dewey = DeweyIndex(relation, ordering)
+        self._route_position = relation.schema.position(ordering.attributes[0])
+        self._router = make_router(router, shards, self._route_values())
+        self._shards: List[InvertedIndex] = [
+            InvertedIndex(relation, ordering, backend=backend, dewey=self._dewey)
+            for _ in range(shards)
+        ]
+
+    @classmethod
+    def build(
+        cls,
+        relation: Relation,
+        ordering: Union[DiversityOrdering, Sequence[str]],
+        shards: int = 2,
+        backend: str = ARRAY_BACKEND,
+        router: Union[str, ShardRouter] = "hash",
+    ) -> "ShardedIndex":
+        """Offline sharded build: one global Dewey pass, then per-shard
+        posting lists over each shard's routed row subset."""
+        if not isinstance(ordering, DiversityOrdering):
+            ordering = DiversityOrdering(ordering)
+        index = cls(relation, ordering, shards=shards, backend=backend, router=router)
+        index._dewey = DeweyIndex.build(relation, ordering)
+        routed: List[List[int]] = [[] for _ in range(shards)]
+        for rid in index._dewey.iter_rids():
+            routed[index.shard_of(rid)].append(rid)
+        index._shards = [
+            InvertedIndex.build(
+                relation, ordering, backend=backend, dewey=index._dewey, rids=rids
+            )
+            for rids in routed
+        ]
+        return index
+
+    def _route_values(self) -> list:
+        position = self._route_position
+        return [row[position] for _, row in self._relation.iter_live()]
+
+    # ------------------------------------------------------------------
+    # Introspection (the InvertedIndex protocol)
+    # ------------------------------------------------------------------
+    @property
+    def relation(self) -> Relation:
+        return self._relation
+
+    @property
+    def ordering(self) -> DiversityOrdering:
+        return self._ordering
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def dewey(self) -> DeweyIndex:
+        """The shared global Dewey assignment."""
+        return self._dewey
+
+    @property
+    def depth(self) -> int:
+        return self._ordering.depth
+
+    @property
+    def epoch(self) -> int:
+        """Global mutation epoch: the sum of per-shard epochs.
+
+        Any mutation anywhere bumps it, so the serving-layer caches keyed on
+        ``epoch`` stay correct; :meth:`shard_epochs` exposes the per-shard
+        counters (a mutation touches exactly one of them).
+        """
+        return sum(shard.epoch for shard in self._shards)
+
+    def shard_epochs(self) -> List[int]:
+        """Per-shard mutation epochs, in shard order."""
+        return [shard.epoch for shard in self._shards]
+
+    @property
+    def shards(self) -> List[InvertedIndex]:
+        """The shard indexes, in shard order (read access for fan-out)."""
+        return self._shards
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def router(self) -> ShardRouter:
+        return self._router
+
+    def shard_of(self, rid: int) -> int:
+        """The shard number owning row ``rid`` (routes on its level-1 value)."""
+        return self._router.shard_of(self._relation[rid][self._route_position])
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedIndex({self._relation.name!r}, {len(self)} tuples, "
+            f"{len(self._shards)} shards, router={self._router!r}, "
+            f"backend={self._backend!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Posting-list lookup (union views; level-1 lookups route directly)
+    # ------------------------------------------------------------------
+    def scalar_postings(self, attribute: str, value: Any) -> PostingList:
+        if attribute == self._ordering.attributes[0]:
+            # Level-1 postings are co-located by construction: serve the
+            # owning shard's list directly, no fan-out needed.
+            return self._shards[self._router.shard_of(value)].scalar_postings(
+                attribute, value
+            )
+        return self._union(
+            [shard.scalar_postings(attribute, value) for shard in self._shards]
+        )
+
+    def token_postings(self, attribute: str, token: str) -> PostingList:
+        return self._union(
+            [shard.token_postings(attribute, token) for shard in self._shards]
+        )
+
+    def all_postings(self) -> PostingList:
+        return self._union([shard.all_postings() for shard in self._shards])
+
+    def vocabulary(self, attribute: str) -> list:
+        seen = set()
+        values = []
+        for shard in self._shards:
+            for value in shard.vocabulary(attribute):
+                if value not in seen:
+                    seen.add(value)
+                    values.append(value)
+        return values
+
+    @staticmethod
+    def _union(parts: List[PostingList]) -> PostingList:
+        if len(parts) == 1:
+            return parts[0]
+        return UnionPostingView(parts)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (routes to exactly one shard)
+    # ------------------------------------------------------------------
+    def insert(self, rid: int) -> DeweyId:
+        """Index one new relation row into its routed shard."""
+        return self._shards[self.shard_of(rid)].insert(rid)
+
+    def remove(self, rid: int) -> Optional[DeweyId]:
+        """Unindex one row from its routed shard; returns its Dewey ID."""
+        if rid not in self._dewey:
+            return None
+        return self._shards[self.shard_of(rid)].remove(rid)

@@ -21,8 +21,11 @@ from repro.bench.harness import (
     env_int,
     run_matrix,
     run_one,
+    run_sharded_workload,
     run_workload,
 )
+from repro.core.engine import DiversityEngine
+from repro.sharding import ShardedEngine
 from repro.bench.report import render_text, to_csv_string, write_csv
 from repro.data.autos import AutosSpec, autos_ordering, generate_autos
 from repro.data.workload import WorkloadGenerator, WorkloadSpec
@@ -59,6 +62,32 @@ class TestHarness:
         elapsed, count, stats = run_one(small_index, small_workload[0], 5, "UProbe")
         assert elapsed >= 0 and count <= 5
         assert stats["next_calls"] <= 10 + 1
+
+    def test_run_sharded_workload(self, small_index, small_workload):
+        """The sharded runner reports shard/worker metadata and returns the
+        same result counts as the plain runner (answers are identical)."""
+        sharded = ShardedEngine.from_relation(
+            small_index.relation, autos_ordering(), shards=3, workers=2
+        )
+        plain = run_workload(small_index, small_workload, 5, "UProbe")
+        timing = run_sharded_workload(sharded, small_workload, 5, "UProbe")
+        assert timing.shards == 3 and timing.workers == 2
+        assert timing.queries == plain.queries
+        assert timing.results_returned == plain.results_returned
+        assert timing.total_seconds >= 0
+
+    def test_run_sharded_workload_accepts_plain_engine(self, small_index, small_workload):
+        engine = DiversityEngine(small_index)
+        timing = run_sharded_workload(engine, small_workload, 5, "UNaive")
+        assert timing.shards == 1 and timing.workers == 0
+        assert timing.queries == len(small_workload)
+
+    def test_run_sharded_workload_rejects_bad_tags(self, small_index, small_workload):
+        engine = DiversityEngine(small_index)
+        with pytest.raises(ValueError):
+            run_sharded_workload(engine, small_workload, 5, "NoSuchTag")
+        with pytest.raises(ValueError):
+            run_sharded_workload(engine, small_workload, 5, "UOnePassNoSkip")
 
     def test_multq_counts_queries(self, small_index, small_workload):
         timing = run_workload(small_index, small_workload[:1], 3, "MultQ")

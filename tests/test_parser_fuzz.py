@@ -1,0 +1,195 @@
+"""Randomised round-trip and robustness fuzzing of the query parser.
+
+Two properties:
+
+* **Round-trip fixed point.**  For any query tree ``q``,
+  ``parse_query(to_query_string(q)) == q``; and the rendered text is itself
+  a fixed point — rendering the re-parsed tree reproduces it byte-for-byte.
+  (:func:`repro.query.rewrite.to_query_string` is documented as
+  round-trippable; this pins it against every literal kind, weights,
+  escaping and arbitrary nesting.)
+
+* **Total on garbage.**  Malformed input raises :class:`QueryParseError`
+  (the documented error, a ``ValueError``) — never ``KeyError``,
+  ``IndexError``, ``AttributeError`` or any other internal crash — whatever
+  bytes arrive.  Fuzzed inputs are random mutations of valid query strings
+  plus outright random character soup.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+import pytest
+
+from repro import Query, parse_query, to_query_string
+from repro.query.parser import QueryParseError
+
+ATTRIBUTES = ["make", "model", "color", "desc", "year", "price"]
+WORDS = ["low", "miles", "price", "rare", "fun", "clean", "Honda", "Civic"]
+# Weights that survive the '%g' render / float() re-parse exactly.
+WEIGHTS = [1.0, 2.0, 3.0, 0.5, 2.5, 10.0, 0.25]
+NASTY_STRINGS = [
+    "it's",
+    'say "hi"',
+    "back\\slash",
+    "tab\there",
+    "mixed 'q' and \\\\ too",
+    "Ünïcode blå",
+    "AND",          # looks like an operator
+    "123abc",
+]
+
+
+def _random_scalar_value(rng: random.Random):
+    kind = rng.randrange(4)
+    if kind == 0:
+        return rng.randint(-5000, 5000)
+    if kind == 1:
+        return rng.choice([0.5, 2.25, -3.125, 1999.0, 0.1])
+    if kind == 2:
+        return rng.choice(NASTY_STRINGS)
+    return rng.choice(WORDS)
+
+
+def random_query_tree(rng: random.Random, depth: int = 0) -> Query:
+    """A random query tree covering both predicate kinds, weights, escaping
+    and nesting up to three levels."""
+    if depth < 3 and rng.random() < 0.45:
+        combinator = Query.conjunction if rng.random() < 0.5 else Query.disjunction
+        children = [
+            random_query_tree(rng, depth + 1) for _ in range(rng.randint(2, 3))
+        ]
+        return combinator(*children)
+    weight = rng.choice(WEIGHTS)
+    if rng.random() < 0.5:
+        return Query.scalar(
+            rng.choice(ATTRIBUTES), _random_scalar_value(rng), weight=weight
+        )
+    keywords = " ".join(rng.sample(WORDS, rng.randint(1, 3)))
+    return Query.keyword(rng.choice(ATTRIBUTES), keywords, weight=weight)
+
+
+# ----------------------------------------------------------------------
+# Round-tripping
+# ----------------------------------------------------------------------
+def test_parse_render_parse_is_identity():
+    rng = random.Random(2024)
+    for _ in range(300):
+        query = random_query_tree(rng)
+        rendered = to_query_string(query)
+        reparsed = parse_query(rendered)
+        assert reparsed == query, rendered
+
+
+def test_rendered_text_is_a_fixed_point():
+    """render(parse(render(q))) == render(q): one render canonicalises."""
+    rng = random.Random(4048)
+    for _ in range(300):
+        query = random_query_tree(rng)
+        rendered = to_query_string(query)
+        assert to_query_string(parse_query(rendered)) == rendered
+
+
+def test_match_all_round_trips():
+    assert parse_query(to_query_string(Query.match_all())) == Query.match_all()
+    assert parse_query("*") == Query.match_all()
+    assert parse_query("   ") == Query.match_all()
+
+
+@pytest.mark.parametrize("value", NASTY_STRINGS)
+def test_escaped_literals_round_trip(value):
+    query = Query.scalar("desc", value)
+    assert parse_query(to_query_string(query)) == query
+
+
+def test_default_weight_is_omitted_and_restored():
+    query = Query.scalar("make", "Honda")  # weight 1.0
+    rendered = to_query_string(query)
+    assert "[" not in rendered
+    assert parse_query(rendered).weight == 1.0
+
+
+# ----------------------------------------------------------------------
+# Robustness: mutated and garbage inputs
+# ----------------------------------------------------------------------
+_ALLOWED = (QueryParseError,)
+_SOUP = string.ascii_letters + string.digits + " '\"()[]=\\.,<>!?*-_\t"
+
+
+def _assert_total(text: str) -> None:
+    """parse_query must either succeed or raise the documented error."""
+    try:
+        parse_query(text)
+    except _ALLOWED:
+        pass
+    except Exception as error:  # pragma: no cover - the failure we hunt
+        pytest.fail(
+            f"parse_query({text!r}) raised undocumented "
+            f"{type(error).__name__}: {error}"
+        )
+
+
+def _mutate(rng: random.Random, text: str) -> str:
+    op = rng.randrange(4)
+    if not text:
+        return rng.choice(_SOUP)
+    position = rng.randrange(len(text))
+    if op == 0:  # delete a character
+        return text[:position] + text[position + 1:]
+    if op == 1:  # insert a random character
+        return text[:position] + rng.choice(_SOUP) + text[position:]
+    if op == 2:  # replace a character
+        return text[:position] + rng.choice(_SOUP) + text[position + 1:]
+    return text[:position]  # truncate
+
+
+def test_mutated_valid_queries_never_crash():
+    rng = random.Random(9090)
+    for _ in range(150):
+        text = to_query_string(random_query_tree(rng))
+        for _ in range(rng.randint(1, 6)):
+            text = _mutate(rng, text)
+        _assert_total(text)
+
+
+def test_random_character_soup_never_crashes():
+    rng = random.Random(1234)
+    for _ in range(300):
+        text = "".join(
+            rng.choice(_SOUP) for _ in range(rng.randint(0, 40))
+        )
+        _assert_total(text)
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "Make =",                      # dangling operator
+        "Make",                        # dangling attribute
+        "= 'Honda'",                   # missing attribute
+        "(Make = 'Honda'",             # unclosed paren
+        "Make = 'Honda')",             # trailing paren
+        "Make = 'Honda' OR",           # dangling OR
+        "Make = 'Honda' [",            # unclosed weight
+        "Make = 'Honda' [x]",          # non-numeric weight
+        "Make = 'Honda' [-1]",         # negative weight (semantic reject)
+        "Make ? 'Honda'",              # unknown operator
+        "desc CONTAINS '!!'",          # keyword text with no tokens
+        "desc CONTAINS",               # missing keyword literal
+        "Make = 'Honda' Toyota",       # trailing tokens
+        "'Honda' = Make",              # literal where attribute expected
+        "((((",
+        "]]]]",
+    ],
+)
+def test_malformed_inputs_raise_the_documented_error(text):
+    with pytest.raises(QueryParseError):
+        parse_query(text)
+
+
+def test_parse_error_is_a_value_error():
+    """Callers catching ValueError (the pre-existing contract) still work."""
+    with pytest.raises(ValueError):
+        parse_query("Make =")

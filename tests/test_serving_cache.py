@@ -155,6 +155,48 @@ class TestResultCacheBehaviour:
         assert "garbage" not in second.items
 
 
+class TestEmptyPostingListInvalidation:
+    """Regression: deleting the *last* row matching a term must invalidate
+    cached results for that term.  The hazard is an index that drops the
+    now-empty posting list entirely — the re-search sees "no such term" and
+    must still miss the cache (epoch bump), not serve the stale hit."""
+
+    def test_delete_last_row_for_term_invalidates_cached_result(self):
+        plain, cached = _paired_engines()
+        rid = plain.insert(("Honda", "Insight", "Silver", 2009, "zebrafish hybrid"))
+        first = cached.search("Description CONTAINS 'zebrafish'", k=5)
+        assert [item.rid for item in first.items] == [rid]
+        hit = cached.search("Description CONTAINS 'zebrafish'", k=5)
+        assert hit.stats["cache_hit"] == 1
+        # Delete through the *cached* engine: the only 'zebrafish' posting dies.
+        assert cached.delete(rid)
+        after = cached.search("Description CONTAINS 'zebrafish'", k=5)
+        assert after.stats["cache_hit"] == 0, "stale result served after delete"
+        assert after.stats["cache_epoch_invalidations"] >= 1
+        assert list(after.items) == []
+
+    def test_delete_last_row_for_scalar_value_invalidates(self):
+        """Same edge for a scalar predicate whose value disappears."""
+        plain, cached = _paired_engines()
+        rid = plain.insert(("Zonda", "F", "Yellow", 2006, "track toy"))
+        assert [i.rid for i in cached.search("Make = 'Zonda'", k=3).items] == [rid]
+        assert cached.search("Make = 'Zonda'", k=3).stats["cache_hit"] == 1
+        assert plain.delete(rid)  # mutation through the *other* facade
+        after = cached.search("Make = 'Zonda'", k=3)
+        assert after.stats["cache_hit"] == 0
+        assert list(after.items) == []
+
+    def test_reinsert_after_emptying_serves_fresh_result(self):
+        _, cached = _paired_engines()
+        rid = cached.insert(("Honda", "Insight", "Silver", 2009, "zebrafish"))
+        cached.search("Description CONTAINS 'zebrafish'", k=5)
+        assert cached.delete(rid)
+        assert cached.search("Description CONTAINS 'zebrafish'", k=5).items == []
+        rid2 = cached.insert(("Honda", "Insight", "Blue", 2010, "zebrafish two"))
+        again = cached.search("Description CONTAINS 'zebrafish'", k=5)
+        assert [item.rid for item in again.items] == [rid2]
+
+
 class TestPlanCacheBehaviour:
     def test_plan_hits_and_revalidation(self):
         plain, cached = _paired_engines()
@@ -289,6 +331,53 @@ class TestServingEngine:
         assert [r.deweys for r in seq_report.results] == [
             r.deweys for r in thr_report.results
         ]
+
+    def test_search_many_threaded_counters_sum(self):
+        """Under a thread pool the cache counters must still account for
+        every query exactly once: hits + misses == len(queries), and the
+        result payloads equal the sequential run's."""
+        relation = figure1_relation()
+        workload = WorkloadGenerator(
+            relation,
+            WorkloadSpec(queries=60, predicates=1, distinct=6, zipf_s=1.0, seed=11),
+        ).materialise()
+        sequential = ServingEngine.from_relation(relation, figure1_ordering())
+        threaded = ServingEngine.from_relation(figure1_relation(), figure1_ordering())
+        seq = sequential.search_many(workload, k=4)
+        thr = threaded.search_many(workload, k=4, threads=4)
+        assert thr.cache_stats["hits"] + thr.cache_stats["misses"] == len(workload)
+        assert seq.cache_stats["hits"] + seq.cache_stats["misses"] == len(workload)
+        # Concurrent misses of one query may each compute (benign): the
+        # threaded run can only trade hits for misses, never lose lookups.
+        assert thr.cache_stats["misses"] >= seq.cache_stats["misses"]
+        assert [_answers(a) for a in thr.results] == [
+            _answers(b) for b in seq.results
+        ]
+
+    def test_from_relation_sharded_wiring(self):
+        """shards>1 builds a ShardedEngine under the serving facade; the
+        caches key on the summed epoch and answers match shards=1."""
+        from repro.sharding import ShardedEngine
+
+        flat = ServingEngine.from_relation(figure1_relation(), figure1_ordering())
+        sharded = ServingEngine.from_relation(
+            figure1_relation(), figure1_ordering(), shards=3, workers=2
+        )
+        assert isinstance(sharded.engine, ShardedEngine)
+        assert sharded.engine.num_shards == 3
+        for algorithm in ALGORITHMS:
+            a = flat.search("Make = 'Honda'", k=5, algorithm=algorithm)
+            b = sharded.search("Make = 'Honda'", k=5, algorithm=algorithm)
+            assert _answers(a) == _answers(b)
+        # Repeat hits the sharded engine's cache...
+        assert sharded.search("Make = 'Honda'", k=5).stats["cache_hit"] == 1
+        # ...and a routed mutation (one shard's epoch) invalidates it.
+        rid = sharded.insert(("Honda", "Fit", "Green", 2008, "hatchback"))
+        assert sharded.epoch == 1
+        after = sharded.search("Make = 'Honda'", k=5)
+        assert after.stats["cache_hit"] == 0
+        assert sharded.delete(rid)
+        assert sharded.epoch == 2
 
     def test_search_many_rejects_negative_threads(self):
         serving = ServingEngine.from_relation(figure1_relation(), figure1_ordering())
