@@ -1,0 +1,73 @@
+"""Root pytest plugin: a per-test timeout fallback.
+
+CI installs the real ``pytest-timeout`` plugin (which honours the
+``timeout`` ini option set in pyproject.toml).  Local environments may not
+have it; this shim provides the same per-test cap via ``SIGALRM`` so a
+hung fan-out (a deadlocked pool, a retry loop that lost its deadline)
+fails the one test instead of wedging the whole run.  It deactivates
+itself entirely when the real plugin is importable, and degrades to a
+no-op on platforms without ``SIGALRM`` or off the main thread.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_addoption(parser):
+    if HAVE_PYTEST_TIMEOUT:
+        return  # the real plugin registers (and enforces) the option
+    parser.addini("timeout", "per-test timeout in seconds (fallback shim)",
+                  default="0")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): override the per-test timeout for one test",
+    )
+
+
+def _timeout_for(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    seconds = 0.0 if HAVE_PYTEST_TIMEOUT else _timeout_for(item)
+    usable = (
+        seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        return (yield)
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {seconds:g}s fallback timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -46,6 +46,16 @@ from .query.predicates import KeywordPredicate, ScalarPredicate
 from .query.query import Query
 from .query.rewrite import normalise, to_query_string
 from .query.scoring import coarsen_weights, idf_weights, scale_weights
+from .resilience import (
+    ChaosPolicy,
+    CircuitBreaker,
+    DeadlineExceededError,
+    ResilienceError,
+    ResiliencePolicy,
+    ShardFaultSpec,
+    ShardUnavailableError,
+    TransientShardError,
+)
 from .serving import BatchReport, CacheStats, ServingCache, ServingEngine
 from .sharding import (
     HashRouter,
@@ -69,6 +79,9 @@ __all__ = [
     "BatchReport",
     "CacheStats",
     "Catalog",
+    "ChaosPolicy",
+    "CircuitBreaker",
+    "DeadlineExceededError",
     "DeweyId",
     "DiverseResult",
     "DiversityEngine",
@@ -84,12 +97,17 @@ __all__ = [
     "RIGHT",
     "ScalarPredicate",
     "Schema",
+    "ResilienceError",
+    "ResiliencePolicy",
     "ServingCache",
     "ServingEngine",
     "HashRouter",
     "RangeRouter",
+    "ShardFaultSpec",
+    "ShardUnavailableError",
     "ShardedEngine",
     "ShardedIndex",
+    "TransientShardError",
     "DiversePaginator",
     "DiverseView",
     "RelaxedResult",

@@ -34,6 +34,12 @@ from .index.inverted import InvertedIndex
 from .index.snapshot import load_index, save_index
 from .core.ordering import DiversityOrdering
 from .query.parser import QueryParseError, parse_query
+from .resilience import (
+    ChaosPolicy,
+    ResilienceError,
+    ResiliencePolicy,
+    ShardFaultSpec,
+)
 from .serving import ServingCache
 from .sharding import ShardedEngine, ShardedIndex
 from .storage.csvio import read_csv
@@ -110,6 +116,81 @@ def _query_options(parser: argparse.ArgumentParser) -> None:
         default=0,
         help="thread-pool size for the sharded fan-out (0 = sequential)",
     )
+    resilience = parser.add_argument_group(
+        "resilience (sharded deployments)",
+        "per-query failure budgets and seeded fault injection; gather "
+        "algorithms degrade to the surviving shards, scan algorithms fail "
+        "fast with a structured error",
+    )
+    resilience.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-query deadline budget (default: unbounded)",
+    )
+    resilience.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="bounded retries per shard call on transient faults (default 2)",
+    )
+    resilience.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed for deterministic fault injection",
+    )
+    resilience.add_argument(
+        "--chaos-latency-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="inject this much latency into every shard read",
+    )
+    resilience.add_argument(
+        "--chaos-transient",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability in [0,1] that a shard read fails transiently",
+    )
+    resilience.add_argument(
+        "--chaos-crash",
+        default="",
+        metavar="IDS",
+        help="comma-separated shard ids to hard-kill (e.g. '0,2')",
+    )
+
+
+def _parse_crash_list(raw: str) -> list:
+    try:
+        return [int(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        print(f"--chaos-crash expects comma-separated shard ids, got {raw!r}",
+              file=sys.stderr)
+        raise SystemExit(2) from None
+
+
+def _chaos_from_args(args) -> ChaosPolicy | None:
+    """A ChaosPolicy when any --chaos-* flag asks for faults, else None."""
+    latency = getattr(args, "chaos_latency_ms", 0.0)
+    transient = getattr(args, "chaos_transient", 0.0)
+    crashed = _parse_crash_list(getattr(args, "chaos_crash", ""))
+    if not latency and not transient and not crashed:
+        return None
+    default = ShardFaultSpec(latency_ms=latency, transient_rate=transient)
+    per_shard = {
+        shard: ShardFaultSpec(
+            latency_ms=latency, transient_rate=transient, crashed=True
+        )
+        for shard in crashed
+    }
+    return ChaosPolicy(
+        seed=getattr(args, "chaos_seed", 0), default=default, per_shard=per_shard
+    )
 
 
 def _make_engine(index, args) -> DiversityEngine:
@@ -123,9 +204,17 @@ def _make_engine(index, args) -> DiversityEngine:
         index = ShardedIndex.build(
             index.relation, index.ordering, shards=shards, backend=index.backend
         )
-        engine: DiversityEngine = ShardedEngine(
-            index, workers=getattr(args, "workers", 0)
+        policy = ResiliencePolicy(
+            deadline_ms=getattr(args, "deadline_ms", None),
+            max_retries=getattr(args, "retries", 2),
+            seed=getattr(args, "chaos_seed", 0),
         )
+        engine: DiversityEngine = ShardedEngine(
+            index, workers=getattr(args, "workers", 0), policy=policy
+        )
+        chaos = _chaos_from_args(args)
+        if chaos is not None:
+            engine.inject_chaos(chaos)
     else:
         engine = DiversityEngine(index)
     if getattr(args, "cache", False):
@@ -157,14 +246,26 @@ def _run_query(engine: DiversityEngine, args, text: str) -> int:
         print(f"parse error: {error}", file=sys.stderr)
         return 2
     started = time.perf_counter()
-    result = engine.search(
-        parsed, k=args.k, algorithm=args.algorithm, scored=args.scored
-    )
+    try:
+        result = engine.search(
+            parsed, k=args.k, algorithm=args.algorithm, scored=args.scored
+        )
+    except ResilienceError as error:
+        # Structured failure from the sharded fan-out: deadline exhausted,
+        # or shards lost that the scan algorithms cannot answer without.
+        print(f"unavailable: {error}", file=sys.stderr)
+        return 3
     elapsed = (time.perf_counter() - started) * 1000
     print(result.to_table())
+    degraded = ""
+    if result.stats.get("degraded"):
+        degraded = (
+            f" DEGRADED {result.stats['shards_failed']}/"
+            f"{result.stats['shards_total']} shards lost;"
+        )
     print(
         f"[{len(result)} results, {args.algorithm}"
-        f"{' scored' if args.scored else ''}, {elapsed:.2f} ms]"
+        f"{' scored' if args.scored else ''},{degraded} {elapsed:.2f} ms]"
     )
     if args.stats:
         for key, value in sorted(result.stats.items()):

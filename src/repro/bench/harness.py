@@ -80,6 +80,33 @@ class WorkloadTiming:
         return self.cache_hits / lookups if lookups else 0.0
 
 
+@dataclass
+class ResilientTiming(WorkloadTiming):
+    """A :class:`WorkloadTiming` plus per-query latencies and failure tallies.
+
+    Produced by :func:`run_chaos_workload`, which runs under fault
+    injection: queries may degrade (answered from surviving shards) or
+    fail outright (structured :class:`~repro.resilience.ResilienceError`),
+    and tail latency matters as much as the mean — ``latencies_ms`` keeps
+    the full per-query distribution for percentile reporting.
+    """
+
+    degraded_queries: int = 0     # answers served from surviving shards only
+    failed_queries: int = 0       # ResilienceError raised (no answer at all)
+    retries: int = 0              # shard-call retries spent across the run
+    latencies_ms: List[float] = field(default_factory=list)
+
+    def percentile_ms(self, p: float) -> float:
+        """The p-th latency percentile (nearest-rank); 0.0 when empty."""
+        if not self.latencies_ms:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        ranked = sorted(self.latencies_ms)
+        rank = max(0, min(len(ranked) - 1, round(p / 100.0 * len(ranked)) - 1))
+        return ranked[rank]
+
+
 def env_int(name: str, default: int) -> int:
     """Integer environment override with validation."""
     raw = os.environ.get(name)
@@ -277,6 +304,76 @@ def run_sharded_workload(
         queries_issued=issued,
         shards=getattr(engine, "num_shards", 1),
         workers=getattr(engine, "workers", 0),
+    )
+
+
+def run_chaos_workload(
+    engine,
+    queries: Sequence[Query],
+    k: int,
+    tag: str,
+) -> ResilientTiming:
+    """Run a workload through a (possibly chaos-injected) sharded engine.
+
+    Unlike :func:`run_sharded_workload`, this runner expects failure: a
+    query may come back *degraded* (gather algorithms over surviving
+    shards), raise a structured :class:`~repro.resilience.ResilienceError`
+    (scan algorithms with a shard down, or an exhausted deadline), or
+    simply take longer because of retries.  All three are tallied rather
+    than propagated, and the full per-query latency distribution is kept
+    so benchmarks can report tails honestly.
+    """
+    from ..resilience import ResilienceError
+
+    if tag not in ALGORITHM_TAGS:
+        raise ValueError(
+            f"unknown algorithm tag {tag!r}; choose from {sorted(ALGORITHM_TAGS)}"
+        )
+    name, scored = ALGORITHM_TAGS[tag]
+    if name not in ("naive", "basic", "onepass", "probe", "multq"):
+        raise ValueError(f"algorithm tag {tag!r} has no engine-level equivalent")
+    total = 0.0
+    returned = 0
+    next_calls = 0
+    scored_next_calls = 0
+    issued = 0
+    degraded = 0
+    failed = 0
+    retries = 0
+    latencies: List[float] = []
+    for query in queries:
+        start = time.perf_counter()
+        try:
+            plan = engine.prepare(query, scored)
+            result = engine.execute(plan, k, name, scored)
+        except ResilienceError:
+            elapsed = time.perf_counter() - start
+            failed += 1
+        else:
+            elapsed = time.perf_counter() - start
+            returned += len(result)
+            next_calls += result.stats.get("next_calls", 0)
+            scored_next_calls += result.stats.get("scored_next_calls", 0)
+            issued += result.stats.get("queries_issued", 0)
+            retries += result.stats.get("retries", 0)
+            if result.stats.get("degraded"):
+                degraded += 1
+        total += elapsed
+        latencies.append(elapsed * 1000.0)
+    return ResilientTiming(
+        algorithm=tag,
+        total_seconds=total,
+        queries=len(queries),
+        results_returned=returned,
+        next_calls=next_calls,
+        scored_next_calls=scored_next_calls,
+        queries_issued=issued,
+        shards=getattr(engine, "num_shards", 1),
+        workers=getattr(engine, "workers", 0),
+        degraded_queries=degraded,
+        failed_queries=failed,
+        retries=retries,
+        latencies_ms=latencies,
     )
 
 

@@ -141,6 +141,16 @@ class DiversityEngine:
         """Attach (or detach, with ``None``) a serving-layer cache."""
         self._cache = cache
 
+    def close(self) -> None:
+        """Release execution resources.  A plain engine holds none; the
+        sharded subclass shuts its fan-out pool down.  Idempotent."""
+
+    def __enter__(self) -> "DiversityEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def compile(self, query: Union[Query, str]) -> MergedList:
         """Parse (if needed) and compile a query to its merged list."""
         if isinstance(query, str):

@@ -1,0 +1,137 @@
+"""A per-shard circuit breaker: closed -> open -> half-open -> closed.
+
+Classic three-state breaker over a sliding window of recent call outcomes:
+
+* **closed** — calls flow; outcomes are recorded.  When the window holds at
+  least ``min_calls`` outcomes and the failure rate reaches ``threshold``,
+  the breaker *opens*.
+* **open** — calls are rejected outright (the shard is presumed down, so
+  the fan-out skips it instead of burning its deadline).  After
+  ``cooldown_ms`` the breaker moves to *half-open*.
+* **half-open** — exactly one trial call is admitted.  Success closes the
+  breaker (window cleared); failure re-opens it for another cooldown.
+
+The clock is injectable so tests drive state transitions without sleeping.
+Thread-safe: the sharded fan-out consults breakers from pool threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-rate breaker over a sliding outcome window."""
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        window: int = 8,
+        min_calls: int = 4,
+        cooldown_ms: float = 1000.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if window < 1 or min_calls < 1:
+            raise ValueError("window and min_calls must be positive")
+        if cooldown_ms < 0:
+            raise ValueError("cooldown_ms must be non-negative")
+        self._threshold = threshold
+        self._window = window
+        self._min_calls = min_calls
+        self._cooldown_ms = cooldown_ms
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._outcomes: Deque[bool] = deque(maxlen=window)  # True = success
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probing = False       # a half-open trial is in flight
+        self.opens = 0              # cumulative open transitions
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._state == OPEN:
+            elapsed_ms = (self._clock() - self._opened_at) * 1000.0
+            if elapsed_ms >= self._cooldown_ms:
+                self._state = HALF_OPEN
+                self._probing = False
+        return self._state
+
+    @property
+    def failure_rate(self) -> float:
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Half-open admits one trial.)"""
+        with self._lock:
+            state = self._state_locked()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    # ------------------------------------------------------------------
+    # Outcome recording
+    # ------------------------------------------------------------------
+    def record_success(self) -> None:
+        with self._lock:
+            state = self._state_locked()
+            if state == HALF_OPEN:
+                # The trial call came back healthy: fully close.
+                self._state = CLOSED
+                self._outcomes.clear()
+                self._probing = False
+                return
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._state_locked()
+            if state == HALF_OPEN:
+                self._trip_locked()
+                return
+            self._outcomes.append(False)
+            if len(self._outcomes) >= self._min_calls:
+                failures = sum(1 for ok in self._outcomes if not ok)
+                if failures / len(self._outcomes) >= self._threshold:
+                    self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probing = False
+        self._outcomes.clear()
+        self.opens += 1
+
+    def reset(self) -> None:
+        """Force-close (administrative reset; counters are kept)."""
+        with self._lock:
+            self._state = CLOSED
+            self._outcomes.clear()
+            self._probing = False
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.state}, rate={self.failure_rate:.2f}, "
+            f"opens={self.opens})"
+        )

@@ -1,0 +1,229 @@
+"""Deterministic fault injection for shard reads.
+
+:class:`ChaosPolicy` decides, per shard and per read, whether to inject
+latency, a transient error, or a hard crash — from a seeded RNG, so every
+chaos run is exactly reproducible (the chaos differential suite relies on
+this: same seed, same faults, same retries, same answers).
+
+:class:`FaultyShard` wraps one per-shard :class:`~repro.index.inverted
+.InvertedIndex` behind the same read protocol and consults the policy on
+every *read* entry point (posting-list lookups and vocabulary scans — the
+operations that would be RPCs in a real deployment).  Mutations and
+control-plane reads (``epoch``, ``len``) pass through untouched: chaos
+models a flaky data path, not a corrupted one, and the serving caches must
+keep observing true epochs while shards misbehave.
+
+Wiring: ``ShardedIndex.inject_chaos(policy)`` wraps every shard in place,
+``clear_chaos()`` unwraps; the CLI exposes the same via ``--chaos-*``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional
+
+from .errors import ShardCrashedError, TransientShardError
+
+
+@dataclass(frozen=True)
+class ShardFaultSpec:
+    """What one shard's reads suffer: latency, flakes, or a hard crash."""
+
+    latency_ms: float = 0.0       # added to every read
+    transient_rate: float = 0.0   # probability a read raises TransientShardError
+    crashed: bool = False         # every read raises ShardCrashedError
+
+    def __post_init__(self):
+        if self.latency_ms < 0:
+            raise ValueError("latency_ms must be non-negative")
+        if not 0.0 <= self.transient_rate <= 1.0:
+            raise ValueError("transient_rate must be in [0, 1]")
+
+
+class ChaosPolicy:
+    """Seeded per-shard fault plan, consulted on every shard read.
+
+    ``default`` applies to every shard not named in ``per_shard``.  The
+    policy is mutable at runtime — :meth:`crash`/:meth:`revive` flip a
+    shard mid-workload, which is how the tests kill a shard under a warm
+    cache — and keeps exact injection counters per shard.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        default: Optional[ShardFaultSpec] = None,
+        per_shard: Optional[Dict[int, ShardFaultSpec]] = None,
+        sleep=time.sleep,
+    ):
+        self._seed = seed
+        self._default = default if default is not None else ShardFaultSpec()
+        self._per_shard: Dict[int, ShardFaultSpec] = dict(per_shard or {})
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._rngs: Dict[int, random.Random] = {}
+        self.injected: Dict[str, int] = {"latency": 0, "transient": 0, "crash": 0}
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def transient(cls, rate: float, seed: int = 0) -> "ChaosPolicy":
+        """Every shard flakes independently at ``rate`` per read."""
+        return cls(seed=seed, default=ShardFaultSpec(transient_rate=rate))
+
+    @classmethod
+    def crash_shards(cls, *shard_ids: int, seed: int = 0) -> "ChaosPolicy":
+        """Hard-kill the named shards; everything else is healthy."""
+        return cls(
+            seed=seed,
+            per_shard={shard: ShardFaultSpec(crashed=True) for shard in shard_ids},
+        )
+
+    @classmethod
+    def slow_shards(cls, latency_ms: float, *shard_ids: int,
+                    seed: int = 0) -> "ChaosPolicy":
+        """Add fixed latency to the named shards (all shards when none given)."""
+        spec = ShardFaultSpec(latency_ms=latency_ms)
+        if not shard_ids:
+            return cls(seed=seed, default=spec)
+        return cls(seed=seed, per_shard={shard: spec for shard in shard_ids})
+
+    # ------------------------------------------------------------------
+    # Runtime control
+    # ------------------------------------------------------------------
+    def spec_for(self, shard_id: int) -> ShardFaultSpec:
+        with self._lock:
+            return self._per_shard.get(shard_id, self._default)
+
+    def set_spec(self, shard_id: int, spec: ShardFaultSpec) -> None:
+        with self._lock:
+            self._per_shard[shard_id] = spec
+
+    def crash(self, shard_id: int) -> None:
+        """Hard-kill one shard from now on (its other faults are kept)."""
+        with self._lock:
+            spec = self._per_shard.get(shard_id, self._default)
+            self._per_shard[shard_id] = replace(spec, crashed=True)
+
+    def revive(self, shard_id: int) -> None:
+        """Bring a killed shard back."""
+        with self._lock:
+            spec = self._per_shard.get(shard_id, self._default)
+            self._per_shard[shard_id] = replace(spec, crashed=False)
+
+    # ------------------------------------------------------------------
+    # Injection (called by FaultyShard on every read)
+    # ------------------------------------------------------------------
+    def _rng(self, shard_id: int) -> random.Random:
+        rng = self._rngs.get(shard_id)
+        if rng is None:
+            # Independent deterministic stream per shard: the fault pattern
+            # one shard sees never depends on traffic to another.
+            rng = self._rngs[shard_id] = random.Random(
+                self._seed * 2654435761 + shard_id
+            )
+        return rng
+
+    def before_read(self, shard_id: int, operation: str) -> None:
+        spec = self.spec_for(shard_id)
+        if spec.crashed:
+            with self._lock:
+                self.injected["crash"] += 1
+            raise ShardCrashedError(shard_id, operation)
+        if spec.latency_ms > 0.0:
+            with self._lock:
+                self.injected["latency"] += 1
+            self._sleep(spec.latency_ms / 1000.0)
+        if spec.transient_rate > 0.0:
+            with self._lock:
+                flake = self._rng(shard_id).random() < spec.transient_rate
+                if flake:
+                    self.injected["transient"] += 1
+            if flake:
+                raise TransientShardError(shard_id, operation)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosPolicy(seed={self._seed}, default={self._default}, "
+            f"per_shard={self._per_shard}, injected={self.injected})"
+        )
+
+
+class FaultyShard:
+    """An :class:`InvertedIndex` read-protocol proxy that injects faults.
+
+    Only the data-path reads go through :meth:`ChaosPolicy.before_read`;
+    mutations (``insert``/``remove``) and control-plane attributes
+    (``epoch``, ``len``, ``relation`` …) delegate untouched.
+    """
+
+    __slots__ = ("_inner", "shard_id", "chaos")
+
+    def __init__(self, inner, shard_id: int, chaos: ChaosPolicy):
+        self._inner = inner
+        self.shard_id = shard_id
+        self.chaos = chaos
+
+    @property
+    def inner(self):
+        """The wrapped shard index (unwrapping handle)."""
+        return self._inner
+
+    # ---- control plane: no injection -------------------------------
+    @property
+    def relation(self):
+        return self._inner.relation
+
+    @property
+    def ordering(self):
+        return self._inner.ordering
+
+    @property
+    def backend(self):
+        return self._inner.backend
+
+    @property
+    def dewey(self):
+        return self._inner.dewey
+
+    @property
+    def depth(self):
+        return self._inner.depth
+
+    @property
+    def epoch(self):
+        return self._inner.epoch
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __repr__(self) -> str:
+        return f"FaultyShard({self.shard_id}, {self._inner!r})"
+
+    # ---- data-path reads: injected ---------------------------------
+    def scalar_postings(self, attribute: str, value: Any):
+        self.chaos.before_read(self.shard_id, "scalar_postings")
+        return self._inner.scalar_postings(attribute, value)
+
+    def token_postings(self, attribute: str, token: str):
+        self.chaos.before_read(self.shard_id, "token_postings")
+        return self._inner.token_postings(attribute, token)
+
+    def all_postings(self):
+        self.chaos.before_read(self.shard_id, "all_postings")
+        return self._inner.all_postings()
+
+    def vocabulary(self, attribute: str) -> list:
+        self.chaos.before_read(self.shard_id, "vocabulary")
+        return self._inner.vocabulary(attribute)
+
+    # ---- mutations: no injection (routing must stay reliable) ------
+    def insert(self, rid: int):
+        return self._inner.insert(rid)
+
+    def remove(self, rid: int):
+        return self._inner.remove(rid)

@@ -1,0 +1,91 @@
+"""Structured error taxonomy for the sharded fan-out path.
+
+Every failure the resilience layer can surface is a :class:`ResilienceError`
+subclass carrying machine-readable context (which shard, why, how long),
+replacing the bare exceptions a crashing shard read would otherwise leak
+through the coordinator:
+
+* :class:`TransientShardError` — one shard read failed in a *retryable* way
+  (timeout, dropped connection, throttling).  The policy layer retries
+  these with backoff; they only escape when retries are exhausted.
+* :class:`ShardCrashedError` — a shard is hard-down; retrying is pointless.
+* :class:`ShardUnavailableError` — the *coordinator* could not produce an
+  answer because one or more shards were lost (crashed, open-circuit, or
+  out of retries) and the execution strategy cannot degrade around them.
+  Carries exactly which shards were lost and why.
+* :class:`DeadlineExceededError` — the per-query deadline budget ran out
+  before an answer (even a degraded one) was available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class ResilienceError(RuntimeError):
+    """Base class for every failure raised by the resilience layer."""
+
+
+class TransientShardError(ResilienceError):
+    """A retryable failure of one shard read (timeout, flake, throttle)."""
+
+    def __init__(self, shard_id: int, operation: str = "read",
+                 message: Optional[str] = None):
+        self.shard_id = shard_id
+        self.operation = operation
+        super().__init__(
+            message
+            or f"transient failure on shard {shard_id} during {operation!r}"
+        )
+
+
+class ShardCrashedError(ResilienceError):
+    """A shard is hard-down: every read fails and retries cannot help."""
+
+    def __init__(self, shard_id: int, operation: str = "read",
+                 message: Optional[str] = None):
+        self.shard_id = shard_id
+        self.operation = operation
+        super().__init__(
+            message or f"shard {shard_id} is down (failed during {operation!r})"
+        )
+
+
+class ShardUnavailableError(ResilienceError):
+    """The coordinator lost shards it could not answer without.
+
+    ``failures`` maps each lost shard id to a human-readable reason
+    (``"crashed"``, ``"circuit open"``, ``"retries exhausted"``,
+    ``"deadline"``); ``shards_total`` is the deployment size, so callers
+    can tell a single-shard loss from a total outage.
+    """
+
+    def __init__(self, failures: Dict[int, str], shards_total: int,
+                 message: Optional[str] = None):
+        self.failures = dict(failures)
+        self.shards_total = shards_total
+        lost = ", ".join(
+            f"{shard}: {reason}" for shard, reason in sorted(self.failures.items())
+        )
+        super().__init__(
+            message
+            or f"{len(self.failures)}/{shards_total} shard(s) unavailable ({lost})"
+        )
+
+    @property
+    def shards_lost(self) -> List[int]:
+        """The lost shard ids, ascending."""
+        return sorted(self.failures)
+
+
+class DeadlineExceededError(ResilienceError):
+    """The per-query deadline budget expired before any answer was ready."""
+
+    def __init__(self, deadline_ms: float, elapsed_ms: float,
+                 message: Optional[str] = None):
+        self.deadline_ms = deadline_ms
+        self.elapsed_ms = elapsed_ms
+        super().__init__(
+            message
+            or f"deadline of {deadline_ms:g} ms exceeded ({elapsed_ms:.1f} ms elapsed)"
+        )

@@ -1,0 +1,120 @@
+"""Per-shard health tracking: counters plus circuit breakers.
+
+One :class:`HealthBoard` lives inside each :class:`~repro.sharding.engine
+.ShardedEngine`.  Every shard call reports its outcome here; the board
+keeps exact per-shard counters (requests, failures by kind, retries,
+open-circuit skips) and one :class:`~repro.resilience.breaker
+.CircuitBreaker` per shard, configured from the engine's
+:class:`~repro.resilience.policy.ResiliencePolicy`.  The fan-out consults
+:meth:`HealthBoard.allow` before dispatching to a shard, which is how a
+persistently failing shard stops costing deadline budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List
+
+from .breaker import CircuitBreaker
+from .policy import ResiliencePolicy
+
+
+@dataclass
+class ShardHealth:
+    """Cumulative outcome counters for one shard."""
+
+    shard_id: int
+    requests: int = 0             # calls admitted to the shard
+    successes: int = 0
+    transient_failures: int = 0   # individual transient faults observed
+    hard_failures: int = 0        # crashes / non-retryable errors
+    retries: int = 0              # re-attempts spent on this shard
+    skipped_open: int = 0         # calls rejected by an open circuit
+    deadline_drops: int = 0       # calls abandoned for deadline reasons
+
+
+class HealthBoard:
+    """Counters + breakers for every shard of one engine."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        policy: ResiliencePolicy,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        self._policy = policy
+        self._shards: List[ShardHealth] = [
+            ShardHealth(shard_id=shard) for shard in range(num_shards)
+        ]
+        self.breakers: List[CircuitBreaker] = [
+            CircuitBreaker(
+                threshold=policy.breaker_threshold,
+                window=policy.breaker_window,
+                min_calls=policy.breaker_min_calls,
+                cooldown_ms=policy.breaker_cooldown_ms,
+                clock=clock,
+            )
+            for _ in range(num_shards)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __getitem__(self, shard_id: int) -> ShardHealth:
+        return self._shards[shard_id]
+
+    # ------------------------------------------------------------------
+    # Admission + outcome recording
+    # ------------------------------------------------------------------
+    def allow(self, shard_id: int) -> bool:
+        """May the fan-out call this shard now?  (Breaker-gated.)"""
+        return self.breakers[shard_id].allow()
+
+    def record_admitted(self, shard_id: int) -> None:
+        self._shards[shard_id].requests += 1
+
+    def record_success(self, shard_id: int) -> None:
+        self._shards[shard_id].successes += 1
+        self.breakers[shard_id].record_success()
+
+    def record_transient(self, shard_id: int) -> None:
+        self._shards[shard_id].transient_failures += 1
+        self.breakers[shard_id].record_failure()
+
+    def record_hard(self, shard_id: int) -> None:
+        self._shards[shard_id].hard_failures += 1
+        self.breakers[shard_id].record_failure()
+
+    def record_retry(self, shard_id: int) -> None:
+        self._shards[shard_id].retries += 1
+
+    def record_skip(self, shard_id: int) -> None:
+        self._shards[shard_id].skipped_open += 1
+
+    def record_deadline_drop(self, shard_id: int) -> None:
+        self._shards[shard_id].deadline_drops += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def open_shards(self) -> List[int]:
+        """Shards whose breaker currently rejects calls (open, or half-open
+        with the single trial slot taken — i.e. ``allow`` would fail)."""
+        return [
+            shard for shard, breaker in enumerate(self.breakers)
+            if breaker.state == "open"
+        ]
+
+    def snapshot(self) -> List[Dict]:
+        """Per-shard health as plain dicts (for CLI/bench reporting)."""
+        return [
+            {**asdict(health), "breaker": self.breakers[shard].state}
+            for shard, health in enumerate(self._shards)
+        ]
+
+    def __repr__(self) -> str:
+        states = ",".join(breaker.state for breaker in self.breakers)
+        return f"HealthBoard({len(self._shards)} shards, breakers=[{states}])"

@@ -297,7 +297,10 @@ class ServingCache:
         # compute the same answer for the same epoch, so last-write-wins.
         result = engine.execute(ordered, k, algorithm, scored)
         with self._lock:
-            if engine.epoch == epoch:
+            # A degraded answer (shards lost mid-query) is correct only for
+            # the moment's outage, not for the epoch: never cache it, or a
+            # recovered shard would keep serving the survivor-only answer.
+            if engine.epoch == epoch and not result.stats.get("degraded"):
                 self.results.store(key, result, epoch)
                 self.stats.evictions = self.results.evictions
             return self._serve(result, hit=False)

@@ -73,7 +73,10 @@ class ServingEngine:
 
     ``search``/``insert``/``delete`` delegate to the wrapped engine (with
     the cache attached, so repeated queries short-circuit);
-    :meth:`search_many` runs whole workloads and reports throughput.
+    :meth:`search_many` runs whole workloads and reports throughput.  The
+    batch thread pool is persistent across calls — :meth:`close` (or use
+    as a context manager) releases it along with the wrapped engine's own
+    resources.
     """
 
     def __init__(
@@ -83,6 +86,8 @@ class ServingEngine:
     ):
         self._engine = engine
         self._cache = cache if cache is not None else ServingCache()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_size = 0
         engine.attach_cache(self._cache)
 
     @classmethod
@@ -94,6 +99,7 @@ class ServingEngine:
         shards: int = 1,
         router="hash",
         workers: int = 0,
+        policy=None,
         **cache_options,
     ) -> "ServingEngine":
         """Build a serving engine; ``shards > 1`` builds a sharded deployment.
@@ -101,14 +107,16 @@ class ServingEngine:
         The sharded engine keeps per-shard mutation epochs (``insert``/
         ``delete`` route to one shard and bump only its counter); the
         caches key on the summed epoch, so the PR 1 invalidation contract
-        holds unchanged.  ``workers`` sizes the scatter-gather thread pool.
+        holds unchanged.  ``workers`` sizes the scatter-gather thread pool;
+        ``policy`` (a :class:`~repro.resilience.ResiliencePolicy`) sets the
+        deadline/retry/breaker budgets of the sharded fan-out.
         """
         if shards > 1:
             from ..sharding import ShardedEngine
 
             engine = ShardedEngine.from_relation(
                 relation, ordering, shards=shards, backend=backend,
-                router=router, workers=workers,
+                router=router, workers=workers, policy=policy,
             )
         else:
             engine = DiversityEngine.from_relation(relation, ordering, backend=backend)
@@ -148,6 +156,35 @@ class ServingEngine:
         self._cache.clear()
 
     # ------------------------------------------------------------------
+    # Lifecycle (persistent batch pool)
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the batch pool down and close the wrapped engine (idempotent)."""
+        pool, self._pool = self._pool, None
+        self._pool_size = 0
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        self._engine.close()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self, threads: int) -> ThreadPoolExecutor:
+        """The persistent batch executor, resized only when ``threads`` changes."""
+        if self._pool is not None and self._pool_size != threads:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="repro-serve"
+            )
+            self._pool_size = threads
+        return self._pool
+
+    # ------------------------------------------------------------------
     # Batched workload execution
     # ------------------------------------------------------------------
     def search_many(
@@ -163,10 +200,15 @@ class ServingEngine:
 
         ``threads=0`` executes sequentially (the default and, for this
         CPU-bound pure-python engine, usually the fastest); ``threads>=1``
-        uses a thread pool of that size — the caches are thread-safe, and
+        uses the persistent batch pool — the caches are thread-safe, and
         concurrent misses of the same query are benign (both compute the
-        same epoch-stamped answer).  Timing covers the entire batch wall
-        clock; ``cache_stats`` is the exact counter delta of this batch.
+        same epoch-stamped answer).  If any query fails (e.g. a sharded
+        engine raising :class:`~repro.resilience.errors
+        .ShardUnavailableError`), the remaining futures are cancelled or
+        drained before the typed error propagates — the pool is left
+        clean and reusable, never holding half-completed work.  Timing
+        covers the entire batch wall clock; ``cache_stats`` is the exact
+        counter delta of this batch.
         """
         if threads < 0:
             raise ValueError("threads must be >= 0")
@@ -180,16 +222,25 @@ class ServingEngine:
                 for query in queries
             ]
         else:
-            with ThreadPoolExecutor(max_workers=threads) as pool:
-                results = list(
-                    pool.map(
-                        lambda query: self._engine.search(
-                            query, k, algorithm=algorithm, scored=scored,
-                            optimize=optimize,
-                        ),
-                        queries,
-                    )
+            pool = self._ensure_pool(threads)
+            futures = [
+                pool.submit(
+                    self._engine.search, query, k, algorithm=algorithm,
+                    scored=scored, optimize=optimize,
                 )
+                for query in queries
+            ]
+            try:
+                results = [future.result() for future in futures]
+            except BaseException:
+                # One query failed: stop what has not started, wait out what
+                # has, then surface the (typed) error with the pool intact.
+                for future in futures:
+                    future.cancel()
+                for future in futures:
+                    if not future.cancelled():
+                        future.exception()  # drain without re-raising
+                raise
         total = time.perf_counter() - started
         return BatchReport(
             results=results,

@@ -11,19 +11,23 @@ unsharded engine:
 * :mod:`~repro.sharding.merge` — the diverse-merge step: Definitions 1-2
   re-applied to the union of per-shard diverse top-k candidates.
 * :mod:`~repro.sharding.engine` — the fan-out engine (sequential or
-  thread-pool), cache-compatible with the serving layer.
+  persistent thread-pool), cache-compatible with the serving layer and
+  failure-aware via :mod:`repro.resilience` (deadlines, retries, circuit
+  breakers, survivor-only degraded answers for the gather algorithms).
 
 Correctness is proven empirically by ``tests/test_sharding_differential.py``
+(and under injected faults by ``tests/test_resilience_differential.py``)
 and argued in ``docs/paper_mapping.md``.
 """
 
-from .engine import GATHER_ALGORITHMS, ShardedEngine
+from .engine import GATHER_ALGORITHMS, ShardOutcome, ShardedEngine
 from .merge import diverse_merge, merge_first_k, scored_diverse_merge
 from .router import HashRouter, RangeRouter, ROUTERS, ShardRouter, make_router
 from .sharded_index import ShardedIndex, UnionPostingView
 
 __all__ = [
     "GATHER_ALGORITHMS",
+    "ShardOutcome",
     "HashRouter",
     "RangeRouter",
     "ROUTERS",

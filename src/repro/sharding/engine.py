@@ -6,12 +6,12 @@ strategies, picked per algorithm so every answer stays bit-identical to an
 unsharded engine:
 
 * **Scatter-gather** (``naive``, and unscored ``basic``): the query fans
-  out to all shards — sequentially or on a thread pool (``workers``) —
-  each shard computes its *local* diverse top-k (the canonical Definitions
-  1-2 selection over its rows), and the coordinator re-applies Definitions
-  1-2 to the union (:mod:`repro.sharding.merge`).  Subtree co-location +
-  the shared Dewey space make each shard's answer a superset of its
-  contribution to the global answer, so the merge is exact.
+  out to all shards — sequentially or on a persistent thread pool
+  (``workers``) — each shard computes its *local* diverse top-k (the
+  canonical Definitions 1-2 selection over its rows), and the coordinator
+  re-applies Definitions 1-2 to the union (:mod:`repro.sharding.merge`).
+  Subtree co-location + the shared Dewey space make each shard's answer a
+  superset of its contribution to the global answer, so the merge is exact.
 
 * **Coordinator-driven scan** (``onepass``, ``probe``, scored ``basic``,
   ``multq``): these algorithms' outputs depend on the scan/probing order
@@ -25,26 +25,59 @@ unsharded engine:
   responses (and therefore whose answers, probe counts included) are
   identical to the unsharded run.
 
+**Failure story** (:mod:`repro.resilience`): every shard call runs under
+the engine's :class:`~repro.resilience.policy.ResiliencePolicy` — deadline
+budget, bounded retries with jittered exponential backoff for transient
+faults, and a per-shard circuit breaker.  The two strategies degrade
+differently:
+
+* Scatter-gather *drops* a shard that is crashed, open-circuit, out of
+  retries, or past deadline, and diverse-merges the survivors — still a
+  valid Definitions 1-2 diverse top-k over the reachable rows
+  (docs/paper_mapping.md), flagged ``degraded`` in ``result.stats``.  Only
+  a total loss raises.
+* The coordinator-driven scan needs every shard (union cursors have no
+  survivors-only mode that preserves bit-identity), so it retries whole
+  runs on transient faults and otherwise **fails fast** with a structured
+  :class:`~repro.resilience.errors.ShardUnavailableError` naming the lost
+  shards.
+
 Mutations (``insert``/``delete``) route to exactly one shard and bump only
 that shard's epoch; the serving caches of PR 1 attach unchanged, keying on
-the global (summed) epoch.
+the global (summed) epoch (degraded answers are never cached).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Union
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..core import baselines
 from ..core.dewey import DeweyId
 from ..core.diversify import diverse_subset, scored_diverse_subset
-from ..core.engine import ALGORITHMS, DiversityEngine
+from ..core.engine import DiversityEngine, run_algorithm
 from ..core.ordering import DiversityOrdering
 from ..core.result import DiverseResult
-from ..index.inverted import InvertedIndex
 from ..index.merged import MergedList
 from ..index.postings import ARRAY_BACKEND
+from ..query.parser import parse_query
 from ..query.query import Query
+from ..query.rewrite import normalise
+from ..resilience import (
+    ChaosPolicy,
+    Deadline,
+    DeadlineExceededError,
+    HealthBoard,
+    ResilienceError,
+    ResiliencePolicy,
+    ShardCrashedError,
+    ShardUnavailableError,
+    TransientShardError,
+)
+from ..resilience.policy import DEFAULT_POLICY
 from ..storage.relation import Relation
 from .merge import diverse_merge, merge_first_k, scored_diverse_merge
 from .router import ShardRouter
@@ -56,11 +89,74 @@ from .sharded_index import ShardedIndex
 GATHER_ALGORITHMS = ("naive", "basic")
 
 
+@dataclass
+class ShardOutcome:
+    """One shard's fate within a single scatter-gather fan-out."""
+
+    shard_id: int
+    value: Any = None
+    ok: bool = False
+    reason: str = ""          # "" | "crashed" | "circuit open" |
+                              # "retries exhausted" | "deadline" | "error"
+    retries: int = 0
+
+
+class _RetryingReads:
+    """The sharded index's read protocol with per-read transient retries.
+
+    The coordinator-driven scan makes many small index reads (multq can
+    make hundreds); retrying the *whole run* on one flaky read would need
+    a fault-free pass through all of them — exponentially unlikely.  Each
+    read is idempotent, so retrying just the failed read is both cheap and
+    exactly answer-preserving: once it succeeds the scan proceeds as if
+    the fault never happened.  All reads share one deadline budget.
+    """
+
+    __slots__ = ("_engine", "_deadline", "retries")
+
+    def __init__(self, engine: "ShardedEngine", deadline: Deadline):
+        self._engine = engine
+        self._deadline = deadline
+        self.retries = 0
+
+    def _read(self, operation):
+        value, attempts = self._engine._run_with_retries(operation, self._deadline)
+        self.retries += attempts
+        return value
+
+    def scalar_postings(self, attribute: str, value: Any):
+        index = self._engine.sharded_index
+        return self._read(lambda: index.scalar_postings(attribute, value))
+
+    def token_postings(self, attribute: str, token: str):
+        index = self._engine.sharded_index
+        return self._read(lambda: index.token_postings(attribute, token))
+
+    def all_postings(self):
+        index = self._engine.sharded_index
+        return self._read(index.all_postings)
+
+    def vocabulary(self, attribute: str) -> list:
+        index = self._engine.sharded_index
+        return self._read(lambda: index.vocabulary(attribute))
+
+    def __len__(self) -> int:
+        return len(self._engine.sharded_index)
+
+    def __getattr__(self, name: str):
+        # Control plane (relation, ordering, dewey, depth, epoch, ...)
+        # passes through untouched.
+        return getattr(self._engine.sharded_index, name)
+
+
 class ShardedEngine(DiversityEngine):
     """Diverse top-k over a sharded index, answer-identical to unsharded.
 
-    ``workers`` > 1 fans scatter-gather queries out on a thread pool of
-    that size (0 or 1 = sequential).  Everything else — caching, prepare/
+    ``workers`` > 1 fans scatter-gather queries out on a persistent thread
+    pool of that size (0 or 1 = sequential); :meth:`close` (or use as a
+    context manager) releases it.  ``policy`` sets the failure-handling
+    budgets (:class:`ResiliencePolicy`); per-shard breakers and health
+    counters live in :attr:`health`.  Everything else — caching, prepare/
     execute split, weighted search, explain — is inherited: the sharded
     index implements the single-index read protocol.
     """
@@ -70,11 +166,16 @@ class ShardedEngine(DiversityEngine):
         index: ShardedIndex,
         cache=None,
         workers: int = 0,
+        policy: Optional[ResiliencePolicy] = None,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         super().__init__(index, cache=cache)
         self._workers = workers
+        self._policy = policy if policy is not None else DEFAULT_POLICY
+        self._health = HealthBoard(index.num_shards, self._policy)
+        self._retry_rng = random.Random(self._policy.seed)
+        self._pool: Optional[ThreadPoolExecutor] = None
 
     @classmethod
     def from_relation(
@@ -86,12 +187,36 @@ class ShardedEngine(DiversityEngine):
         router: Union[str, ShardRouter] = "hash",
         cache=None,
         workers: int = 0,
+        policy: Optional[ResiliencePolicy] = None,
     ) -> "ShardedEngine":
         """Build the sharded index (offline step) and wrap it in an engine."""
         index = ShardedIndex.build(
             relation, ordering, shards=shards, backend=backend, router=router
         )
-        return cls(index, cache=cache, workers=workers)
+        return cls(index, cache=cache, workers=workers, policy=policy)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (persistent fan-out pool)
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the fan-out thread pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=min(self._workers, self._index.num_shards),
+                thread_name_prefix="repro-shard",
+            )
+        return self._pool
 
     # ------------------------------------------------------------------
     # Introspection
@@ -108,8 +233,95 @@ class ShardedEngine(DiversityEngine):
     def workers(self) -> int:
         return self._workers
 
+    @property
+    def policy(self) -> ResiliencePolicy:
+        return self._policy
+
+    @property
+    def health(self) -> HealthBoard:
+        """Per-shard health counters + circuit breakers."""
+        return self._health
+
     def shard_epochs(self) -> List[int]:
         return self._index.shard_epochs()
+
+    # ------------------------------------------------------------------
+    # Fault injection pass-through
+    # ------------------------------------------------------------------
+    def inject_chaos(self, chaos: ChaosPolicy) -> ChaosPolicy:
+        """Make shard reads fail per ``chaos`` (tests/benchmarks/CLI)."""
+        self._index.inject_chaos(chaos)
+        return chaos
+
+    def clear_chaos(self) -> None:
+        self._index.clear_chaos()
+
+    # ------------------------------------------------------------------
+    # Coordinator-side retry loop (prepare + scan algorithms)
+    # ------------------------------------------------------------------
+    def _run_with_retries(self, operation, deadline: Deadline):
+        """Run ``operation()`` retrying transient shard faults per policy.
+
+        Returns ``(value, retries_spent)``.  Crashes and exhausted retries
+        surface as :class:`ShardUnavailableError`; an expired deadline as
+        :class:`DeadlineExceededError`.  Used where the work cannot be
+        split per shard: plan preparation and the coordinator-driven scan,
+        both of which read through union cursors that touch every shard.
+        """
+        policy = self._policy
+        health = self._health
+        attempts = 0
+        while True:
+            try:
+                return operation(), attempts
+            except TransientShardError as error:
+                health.record_transient(error.shard_id)
+                if attempts >= policy.max_retries:
+                    raise ShardUnavailableError(
+                        {error.shard_id: "retries exhausted"}, self.num_shards
+                    ) from error
+                attempts += 1
+                health.record_retry(error.shard_id)
+                if deadline.expired():
+                    raise DeadlineExceededError(
+                        policy.deadline_ms or 0.0, deadline.elapsed_ms()
+                    ) from error
+                delay_s = policy.backoff_ms(attempts, self._retry_rng) / 1000.0
+                delay_s = min(delay_s, deadline.remaining_ms() / 1000.0)
+                if delay_s > 0.0:
+                    time.sleep(delay_s)
+            except ShardCrashedError as error:
+                health.record_hard(error.shard_id)
+                raise ShardUnavailableError(
+                    {error.shard_id: "crashed"}, self.num_shards
+                ) from error
+
+    def prepare(
+        self,
+        query: Union[Query, str],
+        scored: bool = False,
+        optimize: bool = True,
+    ) -> Query:
+        """Plan step, retry-wrapped: the leapfrog ordering reads posting
+        statistics through the sharded index, so a flaky shard can fault
+        here too.  When a shard is hard-down (or retries run out) the
+        *plan* degrades instead of the query: parse + normalise are pure,
+        only the statistics-driven reordering is skipped — answers do not
+        depend on predicate order, so execution can still proceed (and
+        degrade, or fail fast, on its own terms)."""
+        parent = super()
+        try:
+            plan, _ = self._run_with_retries(
+                lambda: parent.prepare(query, scored, optimize),
+                Deadline(self._policy.deadline_ms),
+            )
+        except ShardUnavailableError:
+            if not optimize:
+                raise
+            plan = parse_query(query) if isinstance(query, str) else query
+            if not scored:
+                plan = normalise(plan)
+        return plan
 
     # ------------------------------------------------------------------
     # Execution
@@ -123,31 +335,160 @@ class ShardedEngine(DiversityEngine):
     ) -> DiverseResult:
         """Sharded execution of an already-prepared plan.
 
-        Scatter-gather for the canonical algorithms, coordinator-driven
-        union-cursor scan (inherited) for the scan-order-dependent ones.
+        Scatter-gather (degradable) for the canonical algorithms,
+        coordinator-driven union-cursor scan (all-shards-or-fail) for the
+        scan-order-dependent ones.
         """
         if algorithm == "naive":
             return self._execute_gather_naive(query, k, scored)
         if algorithm == "basic" and not scored:
             return self._execute_gather_basic(query, k)
-        return super().execute(query, k, algorithm, scored)
+        return self._execute_scan(query, k, algorithm, scored)
 
-    def _fan_out(self, task) -> list:
-        """Run ``task(shard_index)`` for every shard, possibly on a pool."""
+    def _execute_scan(
+        self, query: Query, k: int, algorithm: str, scored: bool
+    ) -> DiverseResult:
+        """Coordinator-driven scan: needs every shard, so fail fast.
+
+        An open circuit means a shard is presumed down — refuse before
+        burning the deadline.  Transient faults retry the *failed read*
+        (idempotent, so the answer stays bit-identical to the unsharded
+        scan — see :class:`_RetryingReads`); crashes surface immediately
+        as :class:`ShardUnavailableError` naming the dead shard.
+        """
+        open_shards = self._health.open_shards()
+        if open_shards:
+            raise ShardUnavailableError(
+                {shard: "circuit open" for shard in open_shards}, self.num_shards
+            )
+        reader = _RetryingReads(self, Deadline(self._policy.deadline_ms))
+        deweys, scores, stats = run_algorithm(reader, query, k, algorithm, scored)
+        # A completed scan heard back from the whole deployment: credit the
+        # breakers so a recovered shard's circuit can close again.
+        for shard in range(self.num_shards):
+            self._health.record_success(shard)
+        result = self._package(deweys, scores, stats, k, algorithm, scored)
+        result.stats.update(
+            degraded=False,
+            shards_failed=0,
+            shards_total=self.num_shards,
+            retries=reader.retries,
+            deadline_ms=self._policy.deadline_ms or 0,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Scatter-gather with degradation
+    # ------------------------------------------------------------------
+    def _run_shard_task(
+        self, shard_id: int, shard, task, deadline: Deadline
+    ) -> ShardOutcome:
+        """Run ``task(shard)`` under the policy; never raises.
+
+        Breaker-gated admission, bounded retries with jittered backoff on
+        transient faults, deadline checks between attempts.  The outcome
+        carries either the value or a machine-readable failure reason the
+        gather step turns into degradation stats.
+        """
+        policy = self._policy
+        health = self._health
+        if not health.allow(shard_id):
+            health.record_skip(shard_id)
+            return ShardOutcome(shard_id, reason="circuit open")
+        attempts = 0
+        while True:
+            if deadline.expired():
+                health.record_deadline_drop(shard_id)
+                return ShardOutcome(shard_id, reason="deadline", retries=attempts)
+            health.record_admitted(shard_id)
+            try:
+                value = task(shard)
+            except TransientShardError:
+                health.record_transient(shard_id)
+                if attempts >= policy.max_retries:
+                    return ShardOutcome(
+                        shard_id, reason="retries exhausted", retries=attempts
+                    )
+                attempts += 1
+                health.record_retry(shard_id)
+                delay_s = policy.backoff_ms(attempts, self._retry_rng) / 1000.0
+                delay_s = min(delay_s, deadline.remaining_ms() / 1000.0)
+                if delay_s > 0.0:
+                    time.sleep(delay_s)
+            except ShardCrashedError:
+                health.record_hard(shard_id)
+                return ShardOutcome(shard_id, reason="crashed", retries=attempts)
+            except ResilienceError:
+                health.record_hard(shard_id)
+                return ShardOutcome(shard_id, reason="error", retries=attempts)
+            else:
+                health.record_success(shard_id)
+                return ShardOutcome(
+                    shard_id, value=value, ok=True, retries=attempts
+                )
+
+    def _scatter(self, task) -> List[ShardOutcome]:
+        """Fan ``task(shard)`` out to every shard under the policy.
+
+        Returns one outcome per shard (shard order).  Raises only on total
+        loss: :class:`DeadlineExceededError` when the deadline killed every
+        shard, :class:`ShardUnavailableError` when no shard survived for
+        any other mix of reasons.
+        """
+        deadline = Deadline(self._policy.deadline_ms)
         shards = self._index.shards
         if self._workers > 1 and len(shards) > 1:
-            with ThreadPoolExecutor(
-                max_workers=min(self._workers, len(shards))
-            ) as pool:
-                return list(pool.map(task, shards))
-        return [task(shard) for shard in shards]
+            pool = self._ensure_pool()
+            futures = {
+                pool.submit(self._run_shard_task, shard_id, shard, task, deadline):
+                    shard_id
+                for shard_id, shard in enumerate(shards)
+            }
+            timeout = deadline.remaining_ms() / 1000.0
+            done, not_done = wait(
+                futures, timeout=None if timeout == float("inf") else timeout
+            )
+            outcomes: Dict[int, ShardOutcome] = {}
+            for future in done:
+                shard_id = futures[future]
+                error = future.exception()
+                if error is not None:
+                    # The runner is supposed to be total; treat a leak as a
+                    # hard shard failure rather than poisoning the pool.
+                    self._health.record_hard(shard_id)
+                    outcomes[shard_id] = ShardOutcome(shard_id, reason="error")
+                else:
+                    outcomes[shard_id] = future.result()
+            for future in not_done:
+                # Past deadline: cancel what never started, abandon (drain
+                # into the persistent pool) what is mid-flight.
+                shard_id = futures[future]
+                future.cancel()
+                self._health.record_deadline_drop(shard_id)
+                outcomes[shard_id] = ShardOutcome(shard_id, reason="deadline")
+            ordered = [outcomes[shard_id] for shard_id in sorted(outcomes)]
+        else:
+            ordered = [
+                self._run_shard_task(shard_id, shard, task, deadline)
+                for shard_id, shard in enumerate(shards)
+            ]
+        if not any(outcome.ok for outcome in ordered):
+            if all(outcome.reason == "deadline" for outcome in ordered):
+                raise DeadlineExceededError(
+                    self._policy.deadline_ms or 0.0, deadline.elapsed_ms()
+                )
+            raise ShardUnavailableError(
+                {outcome.shard_id: outcome.reason for outcome in ordered},
+                self.num_shards,
+            )
+        return ordered
 
     def _execute_gather_naive(
         self, query: Query, k: int, scored: bool
     ) -> DiverseResult:
         """Per-shard canonical diverse top-k, then Definitions 1-2 re-merge."""
 
-        def local_topk(shard: InvertedIndex):
+        def local_topk(shard):
             merged = MergedList(query, shard)
             if scored:
                 matches = baselines.collect_all_scored(merged)
@@ -159,9 +500,11 @@ class ShardedEngine(DiversityEngine):
                 local = diverse_subset(baselines.collect_all(merged), k)
             return local, merged.next_calls, merged.scored_next_calls
 
-        gathered = self._fan_out(local_topk)
+        outcomes = self._scatter(local_topk)
+        gathered = [outcome.value for outcome in outcomes if outcome.ok]
         candidates = [local for local, _, _ in gathered]
         stats = self._gather_stats(gathered, candidates)
+        stats.update(self._resilience_stats(outcomes))
         if scored:
             scores = scored_diverse_merge(candidates, k)
             deweys = sorted(scores)
@@ -173,14 +516,16 @@ class ShardedEngine(DiversityEngine):
     def _execute_gather_basic(self, query: Query, k: int) -> DiverseResult:
         """Per-shard first-k, merged to the global document-order first-k."""
 
-        def local_firstk(shard: InvertedIndex):
+        def local_firstk(shard):
             merged = MergedList(query, shard)
             local = baselines.basic_unscored(merged, k)
             return local, merged.next_calls, merged.scored_next_calls
 
-        gathered = self._fan_out(local_firstk)
+        outcomes = self._scatter(local_firstk)
+        gathered = [outcome.value for outcome in outcomes if outcome.ok]
         candidates = [local for local, _, _ in gathered]
         stats = self._gather_stats(gathered, candidates)
+        stats.update(self._resilience_stats(outcomes))
         deweys = merge_first_k(candidates, k)
         return self._package(deweys, None, stats, k, "basic", False)
 
@@ -190,4 +535,14 @@ class ShardedEngine(DiversityEngine):
             "scored_next_calls": sum(calls for _, _, calls in gathered),
             "shards_queried": len(gathered),
             "merge_candidates": sum(len(local) for local in candidates),
+        }
+
+    def _resilience_stats(self, outcomes: Sequence[ShardOutcome]) -> Dict[str, int]:
+        failed = [outcome for outcome in outcomes if not outcome.ok]
+        return {
+            "degraded": bool(failed),
+            "shards_failed": len(failed),
+            "shards_total": self.num_shards,
+            "retries": sum(outcome.retries for outcome in outcomes),
+            "deadline_ms": self._policy.deadline_ms or 0,
         }

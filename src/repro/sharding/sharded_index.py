@@ -266,6 +266,30 @@ class ShardedIndex:
         return UnionPostingView(parts)
 
     # ------------------------------------------------------------------
+    # Fault injection (see repro.resilience.chaos)
+    # ------------------------------------------------------------------
+    def inject_chaos(self, chaos) -> None:
+        """Wrap every shard in a :class:`~repro.resilience.chaos.FaultyShard`
+        driven by ``chaos``; reads start failing/slowing per its fault plan.
+        Idempotent-safe: injecting over an existing wrapper replaces it."""
+        from ..resilience.chaos import FaultyShard
+
+        self.clear_chaos()
+        self._shards = [
+            FaultyShard(shard, shard_id, chaos)
+            for shard_id, shard in enumerate(self._shards)
+        ]
+
+    def clear_chaos(self) -> None:
+        """Unwrap any chaos proxies; reads go straight to the shards again."""
+        self._shards = [getattr(shard, "inner", shard) for shard in self._shards]
+
+    @property
+    def chaos(self):
+        """The active :class:`ChaosPolicy`, or ``None`` when uninjected."""
+        return getattr(self._shards[0], "chaos", None)
+
+    # ------------------------------------------------------------------
     # Incremental maintenance (routes to exactly one shard)
     # ------------------------------------------------------------------
     def insert(self, rid: int) -> DeweyId:
