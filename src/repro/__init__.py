@@ -56,6 +56,18 @@ from .resilience import (
     ShardUnavailableError,
     TransientShardError,
 )
+from .durability import (
+    CrashInjector,
+    DurabilityError,
+    DurableIndex,
+    RecoveryError,
+    SimulatedCrash,
+    WALCorruptionError,
+    WriteAheadLog,
+    create_sharded_store,
+    create_store,
+    recover,
+)
 from .serving import BatchReport, CacheStats, ServingCache, ServingEngine
 from .sharding import (
     HashRouter,
@@ -81,8 +93,15 @@ __all__ = [
     "Catalog",
     "ChaosPolicy",
     "CircuitBreaker",
+    "CrashInjector",
     "DeadlineExceededError",
     "DeweyId",
+    "DurabilityError",
+    "DurableIndex",
+    "RecoveryError",
+    "SimulatedCrash",
+    "WALCorruptionError",
+    "WriteAheadLog",
     "DiverseResult",
     "DiversityEngine",
     "DiversityOrdering",
@@ -116,6 +135,8 @@ __all__ = [
     "WeightedDiversifier",
     "balance_violations",
     "coarsen_weights",
+    "create_sharded_store",
+    "create_store",
     "diverse_merge",
     "diverse_subset",
     "estimate_cardinality",
@@ -132,6 +153,7 @@ __all__ = [
     "one_pass_unscored",
     "parse_query",
     "probe_scored",
+    "recover",
     "relax_query",
     "relaxed_search",
     "retrieve_ck_diverse",

@@ -59,23 +59,78 @@ def main(argv=None) -> int:
         required=True,
         help="comma-separated diversity ordering, highest priority first",
     )
-    build.add_argument("--out", type=Path, required=True, help="snapshot path")
+    build.add_argument("--out", type=Path, default=None, help="snapshot path")
     build.add_argument(
         "--backend", choices=["array", "bptree"], default="array"
     )
+    durability = build.add_argument_group(
+        "durability",
+        "initialise a crash-safe data directory instead of (or alongside) a "
+        "bare snapshot file; mutations against it are write-ahead-logged",
+    )
+    durability.add_argument(
+        "--data-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="create a durable store (snapshot + write-ahead log) here",
+    )
+    durability.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-snapshot and truncate a store's log whenever it reaches "
+        "N records (0 = only on demand)",
+    )
+    durability.add_argument(
+        "--fsync-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fsync the WAL every N records (1 = every record, full "
+        "durability; larger batches trade the tail of a crash for speed)",
+    )
+    durability.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition the durable store across N shards (one WAL + "
+        "snapshot per shard); only meaningful with --data-dir",
+    )
 
     query = commands.add_parser("query", help="run one diverse query")
-    query.add_argument("index", type=Path, help="snapshot from 'build'")
+    query.add_argument(
+        "index", type=Path,
+        help="snapshot from 'build', or a --data-dir to recover and query",
+    )
     query.add_argument("text", help="query text, e.g. \"Make = 'Honda'\"")
     _query_options(query)
 
     shell = commands.add_parser("shell", help="interactive query shell")
-    shell.add_argument("index", type=Path, help="snapshot from 'build'")
+    shell.add_argument(
+        "index", type=Path,
+        help="snapshot from 'build', or a --data-dir to recover and query",
+    )
     _query_options(shell)
 
     demo = commands.add_parser("demo", help="explore the paper's Figure 1 data")
     _query_options(demo)
     demo.add_argument("text", nargs="?", default="Make = 'Honda'")
+
+    recover_cmd = commands.add_parser(
+        "recover",
+        help="recover a durable data directory and report what replay did",
+    )
+    recover_cmd.add_argument("data_dir", type=Path, help="durable store root")
+    recover_cmd.add_argument(
+        "--query",
+        default=None,
+        metavar="TEXT",
+        help="optionally run one query against the recovered index",
+    )
+    _query_options(recover_cmd)
 
     args = parser.parse_args(argv)
     if args.command == "build":
@@ -84,6 +139,8 @@ def main(argv=None) -> int:
         return _cmd_query(args)
     if args.command == "shell":
         return _cmd_shell(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     return _cmd_demo(args)
 
 
@@ -223,19 +280,102 @@ def _make_engine(index, args) -> DiversityEngine:
 
 
 def _cmd_build(args) -> int:
+    if args.out is None and args.data_dir is None:
+        print("build needs --out and/or --data-dir", file=sys.stderr)
+        return 2
     started = time.perf_counter()
     relation = read_csv(args.csv, name=args.csv.stem)
     ordering = DiversityOrdering(
         [name.strip() for name in args.ordering.split(",") if name.strip()]
     )
-    index = InvertedIndex.build(relation, ordering, backend=args.backend)
-    save_index(index, args.out)
+    destinations = []
+    if args.data_dir is not None:
+        from .durability import create_sharded_store, create_store
+
+        if args.shards > 1:
+            sharded = ShardedIndex.build(
+                relation, ordering, shards=args.shards, backend=args.backend
+            )
+            create_sharded_store(
+                sharded, args.data_dir, snapshot_every=args.snapshot_every,
+                fsync_every=args.fsync_every,
+            )
+            destinations.append(
+                f"{args.data_dir} ({args.shards} durable shards)"
+            )
+        else:
+            index = InvertedIndex.build(relation, ordering, backend=args.backend)
+            create_store(
+                index, args.data_dir, snapshot_every=args.snapshot_every,
+                fsync_every=args.fsync_every,
+            )
+            destinations.append(f"{args.data_dir} (durable store)")
+    if args.out is not None:
+        index = InvertedIndex.build(relation, ordering, backend=args.backend)
+        save_index(index, args.out)
+        destinations.append(str(args.out))
     elapsed = time.perf_counter() - started
     print(
         f"indexed {len(relation)} rows "
         f"({len(ordering)} diversity levels, backend={args.backend}) "
-        f"in {elapsed:.2f}s -> {args.out}"
+        f"in {elapsed:.2f}s -> {', '.join(destinations)}"
     )
+    return 0
+
+
+def _recover_engine(data_dir: Path, args) -> DiversityEngine:
+    """Recover a durable data directory into a query engine, or exit 4."""
+    from .durability import DurableIndex, RecoveryError, recover
+
+    try:
+        recovered = recover(data_dir)
+    except RecoveryError as error:
+        print(f"recovery failed: {error}", file=sys.stderr)
+        raise SystemExit(4) from None
+    if isinstance(recovered, DurableIndex):
+        engine: DiversityEngine = DiversityEngine(recovered)
+    else:
+        policy = ResiliencePolicy(
+            deadline_ms=getattr(args, "deadline_ms", None),
+            max_retries=getattr(args, "retries", 2),
+            seed=getattr(args, "chaos_seed", 0),
+        )
+        engine = ShardedEngine(
+            recovered, workers=getattr(args, "workers", 0), policy=policy
+        )
+    if getattr(args, "cache", False):
+        engine.attach_cache(ServingCache())
+    return engine
+
+
+def _open_engine(path: Path, args) -> DiversityEngine:
+    """Serve either a bare snapshot file or a durable data directory."""
+    if path.is_dir():
+        return _recover_engine(path, args)
+    return _make_engine(load_index(path), args)
+
+
+def _durable_stores(engine: DiversityEngine) -> list:
+    """The DurableIndex stores behind an engine (empty when not durable)."""
+    index = engine.index
+    candidates = getattr(index, "shards", [index])
+    return [store for store in candidates if hasattr(store, "recovery")]
+
+
+def _cmd_recover(args) -> int:
+    engine = _recover_engine(args.data_dir, args)
+    stores = _durable_stores(engine)
+    for store in stores:
+        label = store.wal.path.parent
+        print(f"{label}: {store.recovery.describe()}")
+    relation = engine.relation
+    print(
+        f"recovered {relation.live_count} live rows "
+        f"({len(relation)} slots) at epoch {engine.epoch} "
+        f"across {len(stores)} store(s)"
+    )
+    if args.query is not None:
+        return _run_query(engine, args, args.query)
     return 0
 
 
@@ -274,12 +414,12 @@ def _run_query(engine: DiversityEngine, args, text: str) -> int:
 
 
 def _cmd_query(args) -> int:
-    engine = _make_engine(load_index(args.index), args)
+    engine = _open_engine(args.index, args)
     return _run_query(engine, args, args.text)
 
 
 def _cmd_shell(args) -> int:
-    engine = _make_engine(load_index(args.index), args)
+    engine = _open_engine(args.index, args)
     print(
         f"repro shell — {engine.index!r}\n"
         f"ordering: {engine.ordering!r}\n"

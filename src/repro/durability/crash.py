@@ -1,0 +1,84 @@
+"""Crash-fault injection: kill the writer at any durability crash point.
+
+The spirit of :class:`repro.resilience.chaos.ChaosPolicy`, aimed at disk
+instead of the network: a :class:`CrashInjector` arms exactly one
+*(crash point, occurrence)* pair, and the instrumented writers
+(:class:`~repro.durability.wal.WriteAheadLog`,
+:func:`repro.index.snapshot.write_snapshot`) consult it at every point a
+real process can die.  When the armed point is reached the instrumented
+code first makes the on-disk file look the way a kernel crash would leave
+it — un-fsynced bytes dropped, a torn half-record on the platter, a bit
+flipped by the medium — and then raises
+:class:`~repro.durability.errors.SimulatedCrash` to kill the writer.
+
+The differential crash-matrix suite enumerates every (point, occurrence)
+pair a scripted workload reaches — via a profiling pass with an un-armed
+injector — then kills the writer at each one and asserts recovery lands on
+exactly the pre-crash or post-crash state, never anything in between.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+from .errors import SimulatedCrash
+
+#: Every instrumented crash point, in rough write-path order.
+CRASH_POINTS = (
+    "wal-pre-append",       # die before any byte of the record is written
+    "wal-torn-append",      # half the record frame reaches disk, then die
+    "wal-pre-sync",         # record fully written but not fsynced: lost
+    "wal-post-sync",        # record durable; die immediately after fsync
+    "wal-flip-tail",        # record durable, then the medium flips one bit
+    "snapshot-mid-write",   # temp snapshot file half-written
+    "snapshot-pre-rename",  # temp complete, rename never happens
+    "snapshot-post-rename", # renamed; WAL truncation never happens
+    "snapshot-post-truncate",  # the full snapshot cycle completed, then die
+)
+
+
+class CrashInjector:
+    """Arms one crash point; counts every point reached along the way.
+
+    ``point=None`` builds a pure profiler: nothing fires, but
+    :attr:`reached` records how often each crash point was passed — the
+    matrix driver uses this to enumerate occurrences.
+    """
+
+    def __init__(self, point: Optional[str] = None, occurrence: int = 1):
+        if point is not None and point not in CRASH_POINTS:
+            raise ValueError(
+                f"unknown crash point {point!r}; choose from {CRASH_POINTS}"
+            )
+        if occurrence < 1:
+            raise ValueError("occurrence is 1-based")
+        self.point = point
+        self.occurrence = occurrence
+        self.fired = False
+        self.reached: Dict[str, int] = Counter()
+
+    def reach(self, point: str) -> bool:
+        """Record passing ``point``; True when the armed crash fires *now*.
+
+        The caller then applies the point's disk damage and calls
+        :meth:`crash`.  Separating the two lets each instrumented site
+        damage its own file with full knowledge of buffer/sync state.
+        """
+        self.reached[point] += 1
+        if self.fired or point != self.point:
+            return False
+        if self.reached[point] == self.occurrence:
+            self.fired = True
+            return True
+        return False
+
+    def crash(self) -> None:
+        """Kill the writer (raises :class:`SimulatedCrash`)."""
+        raise SimulatedCrash(self.point or "<unarmed>", self.occurrence)
+
+    def __repr__(self) -> str:
+        return (
+            f"CrashInjector(point={self.point!r}, occurrence={self.occurrence}, "
+            f"fired={self.fired})"
+        )

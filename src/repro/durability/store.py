@@ -1,0 +1,464 @@
+"""Crash-safe single-index store: WAL-ahead mutation, snapshots, recovery.
+
+A data directory holds everything needed to resurrect an index::
+
+    data_dir/
+        MANIFEST.json   # {"kind": "single", snapshot_every, fsync_every}
+        snapshot.idx    # checksummed v2 snapshot (repro.index.snapshot)
+        wal.log         # mutations since that snapshot (repro.durability.wal)
+
+:class:`DurableIndex` wraps an :class:`~repro.index.inverted.InvertedIndex`
+behind the same read protocol (the :class:`~repro.resilience.chaos.FaultyShard`
+idiom) and intercepts the two mutations.  Each is appended — and fsynced,
+per policy — to the WAL *before* the in-memory index changes, using
+:meth:`DeweyIndex.peek` to predict the exact Dewey assignment without
+mutating.  The record's ``seq`` is the mutation epoch the index will hold
+*after* applying it, which makes snapshotting and log truncation safely
+non-atomic: recovery simply skips records whose seq the snapshot already
+covers, so a crash between the snapshot rename and the WAL truncate
+replays nothing twice.
+
+Recovery (:func:`recover_store`) validates the snapshot digest, replays
+the log tolerating only a torn tail, verifies seq contiguity and that
+every replayed Dewey assignment is consistent, and lands the index on the
+exact pre-crash epoch so warm serving-cache entries stay valid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Set, Union
+
+from ..core.dewey import DeweyId
+from ..index.dewey_index import DeweyAssignmentError
+from ..index.inverted import InvertedIndex
+from ..index.snapshot import (
+    SnapshotError,
+    read_snapshot,
+    restore_index,
+    save_index,
+)
+from .crash import CrashInjector
+from .errors import RecoveryError, WALError
+from .wal import WalScan, WriteAheadLog, insert_record, read_wal, remove_record
+
+MANIFEST_NAME = "MANIFEST.json"
+SNAPSHOT_NAME = "snapshot.idx"
+WAL_NAME = "wal.log"
+MANIFEST_FORMAT = "repro-durability"
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class RecoveryReport:
+    """What one store's recovery actually did (operator triage / CLI)."""
+
+    path: Path
+    snapshot_epoch: int
+    replayed: int          # WAL records applied on top of the snapshot
+    skipped: int           # stale records the snapshot already covered
+    torn_bytes: int        # damaged tail bytes dropped (0 = clean shutdown)
+    final_epoch: int
+
+    def describe(self) -> str:
+        bits = [
+            f"snapshot@epoch {self.snapshot_epoch}",
+            f"replayed {self.replayed} WAL record(s)",
+        ]
+        if self.skipped:
+            bits.append(f"skipped {self.skipped} stale")
+        if self.torn_bytes:
+            bits.append(f"dropped {self.torn_bytes} torn tail byte(s)")
+        bits.append(f"epoch {self.final_epoch}")
+        return ", ".join(bits)
+
+
+class DurableIndex:
+    """An inverted index whose mutations survive crashes.
+
+    Presents the full InvertedIndex read protocol (so engines, cursors and
+    :class:`~repro.sharding.ShardedIndex` treat it as a plain shard) and
+    write-ahead-logs ``insert``/``remove``.  When ``snapshot_every`` is
+    positive, every mutation that brings the log to that many records
+    triggers a snapshot + log truncation inline.
+
+    ``owned`` scopes partial (per-shard) snapshots to the row slots this
+    index is responsible for; ``None`` snapshots the whole relation.
+    """
+
+    __slots__ = (
+        "_index", "_wal", "_snapshot_path", "_snapshot_every",
+        "_injector", "_owned", "snapshots", "recovery",
+    )
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        wal: WriteAheadLog,
+        snapshot_path: Union[str, Path],
+        snapshot_every: int = 0,
+        injector: Optional[CrashInjector] = None,
+        owned: Optional[Set[int]] = None,
+        recovery: Optional[RecoveryReport] = None,
+    ):
+        if snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0 (0 disables)")
+        self._index = index
+        self._wal = wal
+        self._snapshot_path = Path(snapshot_path)
+        self._snapshot_every = snapshot_every
+        self._injector = injector
+        self._owned = owned
+        self.snapshots = 0
+        self.recovery = recovery
+
+    # ------------------------------------------------------------------
+    # Introspection / read protocol (delegates to the wrapped index).
+    # NOTE: the unwrap accessor is deliberately named ``index`` — shards
+    # expose chaos wrappers via ``inner`` and ShardedIndex.clear_chaos
+    # strips *that* name; durability must survive chaos clearing.
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> InvertedIndex:
+        return self._index
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self._wal
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self._snapshot_path
+
+    @property
+    def snapshot_every(self) -> int:
+        return self._snapshot_every
+
+    @property
+    def relation(self):
+        return self._index.relation
+
+    @property
+    def ordering(self):
+        return self._index.ordering
+
+    @property
+    def backend(self) -> str:
+        return self._index.backend
+
+    @property
+    def dewey(self):
+        return self._index.dewey
+
+    @property
+    def depth(self) -> int:
+        return self._index.depth
+
+    @property
+    def epoch(self) -> int:
+        return self._index.epoch
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableIndex({self._index!r}, wal={self._wal.path.name}, "
+            f"snapshot_every={self._snapshot_every or 'off'})"
+        )
+
+    def scalar_postings(self, attribute: str, value: Any):
+        return self._index.scalar_postings(attribute, value)
+
+    def token_postings(self, attribute: str, token: str):
+        return self._index.token_postings(attribute, token)
+
+    def all_postings(self):
+        return self._index.all_postings()
+
+    def vocabulary(self, attribute: str) -> list:
+        return self._index.vocabulary(attribute)
+
+    # ------------------------------------------------------------------
+    # Durable mutations
+    # ------------------------------------------------------------------
+    def insert(self, rid: int) -> DeweyId:
+        """WAL-then-index one new relation row.
+
+        The Dewey assignment is *peeked* (not applied) first so the log
+        record carries the exact ID the in-memory mutation is about to
+        assign — replay force-applies it bit-identically no matter what
+        sibling-dictionary state a restored index happens to have.
+        """
+        dewey = self._index.dewey.peek(rid)
+        if dewey in self._index.all_postings():
+            return dewey  # idempotent re-insert: no mutation, no record
+        row = self._index.relation[rid]
+        self._wal.append(insert_record(self._index.epoch + 1, rid, row, dewey))
+        if self._owned is not None:
+            self._owned.add(rid)
+        applied = self._index.insert(rid)
+        self._maybe_snapshot()
+        return applied
+
+    def remove(self, rid: int) -> Optional[DeweyId]:
+        """WAL-then-unindex one row; returns its Dewey ID (None if absent)."""
+        if rid not in self._index.dewey:
+            return None
+        dewey = self._index.dewey.dewey_of(rid)
+        if dewey not in self._index.all_postings():
+            return None  # not this shard's row (shared global Dewey space)
+        self._wal.append(remove_record(self._index.epoch + 1, rid, dewey))
+        result = self._index.remove(rid)
+        self._maybe_snapshot()
+        return result
+
+    # ------------------------------------------------------------------
+    # Snapshotting
+    # ------------------------------------------------------------------
+    def _maybe_snapshot(self) -> None:
+        if (
+            self._snapshot_every
+            and self._wal.appended_since_truncate >= self._snapshot_every
+        ):
+            self.snapshot()
+
+    def snapshot(self) -> None:
+        """Write an atomic snapshot, then truncate the now-covered log."""
+        rids = sorted(self._owned) if self._owned is not None else None
+        save_index(self._index, self._snapshot_path, rids=rids,
+                   injector=self._injector)
+        self._wal.truncate()
+        if self._injector is not None and self._injector.reach(
+            "snapshot-post-truncate"
+        ):
+            self._injector.crash()
+        self.snapshots += 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def arm(self, injector: Optional[CrashInjector]) -> None:
+        """(Re)attach a crash injector to this store and its WAL — lets the
+        crash matrix arm a steady-state workload without instrumenting the
+        store's own creation."""
+        self._injector = injector
+        self._wal._injector = injector
+
+    def close(self) -> None:
+        self._wal.close()
+
+    def __enter__(self) -> "DurableIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+def write_manifest(data_dir: Path, manifest: dict) -> None:
+    """Atomically persist the (static) store configuration."""
+    document = dict(manifest)
+    document.setdefault("format", MANIFEST_FORMAT)
+    document.setdefault("version", MANIFEST_VERSION)
+    target = data_dir / MANIFEST_NAME
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, target)
+
+
+def read_manifest(data_dir: Union[str, Path]) -> dict:
+    data_dir = Path(data_dir)
+    path = data_dir / MANIFEST_NAME
+    try:
+        manifest = json.loads(path.read_text())
+    except OSError:
+        raise RecoveryError(data_dir, f"missing {MANIFEST_NAME}") from None
+    except ValueError as error:
+        raise RecoveryError(
+            data_dir, f"unreadable {MANIFEST_NAME}: {error}"
+        ) from None
+    if not isinstance(manifest, dict) or manifest.get("format") != MANIFEST_FORMAT:
+        raise RecoveryError(
+            data_dir, f"{MANIFEST_NAME} is not a {MANIFEST_FORMAT} manifest"
+        )
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# Creation and recovery
+# ----------------------------------------------------------------------
+def create_store(
+    index: InvertedIndex,
+    data_dir: Union[str, Path],
+    snapshot_every: int = 0,
+    fsync_every: int = 1,
+    injector: Optional[CrashInjector] = None,
+) -> DurableIndex:
+    """Initialise a data directory around an existing in-memory index."""
+    data_dir = Path(data_dir)
+    data_dir.mkdir(parents=True, exist_ok=True)
+    write_manifest(data_dir, {
+        "kind": "single",
+        "snapshot_every": snapshot_every,
+        "fsync_every": fsync_every,
+    })
+    snapshot_path = data_dir / SNAPSHOT_NAME
+    save_index(index, snapshot_path)
+    wal = WriteAheadLog.create(data_dir / WAL_NAME, fsync_every=fsync_every,
+                               injector=injector)
+    return DurableIndex(index, wal, snapshot_path,
+                        snapshot_every=snapshot_every, injector=injector)
+
+
+def parse_record(record, label) -> tuple:
+    """Validate one decoded WAL record; returns (seq, op, rid, dewey, row)."""
+    try:
+        seq = int(record["seq"])
+        op = record["op"]
+        rid = int(record["rid"])
+        dewey = tuple(int(c) for c in record["dewey"])
+    except (KeyError, TypeError, ValueError):
+        raise RecoveryError(label, f"malformed WAL record {record!r}") from None
+    if op not in ("insert", "remove"):
+        raise RecoveryError(label, f"unknown WAL op {op!r} in record {seq}")
+    row = record.get("row")
+    if op == "insert" and not isinstance(row, list):
+        raise RecoveryError(label, f"insert record {seq} has no row")
+    return seq, op, rid, dewey, row
+
+
+def replay_wal_records(
+    index: InvertedIndex,
+    records: list,
+    label: Union[str, Path],
+) -> tuple[int, int]:
+    """Apply WAL records on top of a freshly restored index.
+
+    Records the snapshot already covers (``seq <=`` the restored epoch)
+    are skipped; the remainder must be contiguous from the next epoch.
+    Every replayed record is cross-checked against the index (rows match,
+    Dewey assignments consistent) so damage that slipped past the
+    checksums still surfaces as :class:`RecoveryError`, never as a
+    silently wrong index.  Returns ``(replayed, skipped)``.
+    """
+    relation = index.relation
+    start = index.epoch
+    expected = start
+    replayed = skipped = 0
+    for record in records:
+        seq, op, rid, dewey, row = parse_record(record, label)
+        if seq <= start:
+            skipped += 1  # superseded by the snapshot (post-rename crash)
+            continue
+        expected += 1
+        if seq != expected:
+            raise RecoveryError(
+                label,
+                f"WAL sequence gap: expected seq {expected}, found {seq} "
+                f"(acknowledged mutations are missing)",
+            )
+        if op == "insert":
+            if rid == len(relation):
+                relation.insert(row)
+            elif rid < len(relation):
+                if list(relation[rid]) != list(relation.schema.coerce_row(row)):
+                    raise RecoveryError(
+                        label,
+                        f"insert record {seq} disagrees with row {rid} "
+                        f"restored from the snapshot",
+                    )
+            else:
+                raise RecoveryError(
+                    label,
+                    f"insert record {seq} references rid {rid} beyond the "
+                    f"row table (gap in acknowledged inserts)",
+                )
+            try:
+                index.dewey.force(rid, dewey)
+            except DeweyAssignmentError as error:
+                raise RecoveryError(
+                    label, f"insert record {seq}: {error}"
+                ) from None
+            index.index_restored_row(rid)
+        else:  # remove
+            if rid not in index.dewey or index.dewey.dewey_of(rid) != dewey:
+                raise RecoveryError(
+                    label,
+                    f"remove record {seq} references rid {rid} with Dewey "
+                    f"{list(dewey)} not present in the recovered index",
+                )
+            index.remove(rid)
+            relation.delete(rid)
+        replayed += 1
+    index.restore_epoch(expected)
+    return replayed, skipped
+
+
+def _scan_wal_for_recovery(wal_path: Path, label) -> WalScan:
+    if not wal_path.exists():
+        # A crash between the snapshot write and WAL creation: no log means
+        # no mutations past the snapshot.
+        return WalScan([], valid_end=0, file_size=0, torn=False)
+    try:
+        return read_wal(wal_path)
+    except WALError as error:
+        raise RecoveryError(label, str(error)) from error
+
+
+def recover_store(
+    data_dir: Union[str, Path],
+    snapshot_every: Optional[int] = None,
+    fsync_every: Optional[int] = None,
+    injector: Optional[CrashInjector] = None,
+) -> DurableIndex:
+    """Recover a single-index data directory and reopen it for writing.
+
+    ``snapshot_every`` / ``fsync_every`` default to the manifest's values;
+    pass explicit ones to override the persisted policy.
+    """
+    data_dir = Path(data_dir)
+    manifest = read_manifest(data_dir)
+    if manifest.get("kind") != "single":
+        raise RecoveryError(
+            data_dir,
+            f"manifest kind {manifest.get('kind')!r} is not a single-index "
+            f"store (use repro.durability.recover for dispatch)",
+        )
+    if snapshot_every is None:
+        snapshot_every = int(manifest.get("snapshot_every", 0))
+    if fsync_every is None:
+        fsync_every = int(manifest.get("fsync_every", 1))
+    snapshot_path = data_dir / SNAPSHOT_NAME
+    try:
+        payload = read_snapshot(snapshot_path)
+        index = restore_index(payload, label=f"snapshot {snapshot_path}")
+    except SnapshotError as error:
+        raise RecoveryError(data_dir, str(error)) from error
+    wal_path = data_dir / WAL_NAME
+    scan = _scan_wal_for_recovery(wal_path, data_dir)
+    snapshot_epoch = index.epoch
+    replayed, skipped = replay_wal_records(index, scan.records, data_dir)
+    if wal_path.exists():
+        wal, _ = WriteAheadLog.open_for_append(
+            wal_path, fsync_every=fsync_every, injector=injector
+        )
+    else:
+        wal = WriteAheadLog.create(wal_path, fsync_every=fsync_every,
+                                   injector=injector)
+    report = RecoveryReport(
+        path=data_dir,
+        snapshot_epoch=snapshot_epoch,
+        replayed=replayed,
+        skipped=skipped,
+        torn_bytes=scan.dropped_bytes,
+        final_epoch=index.epoch,
+    )
+    return DurableIndex(index, wal, snapshot_path,
+                        snapshot_every=snapshot_every, injector=injector,
+                        recovery=report)

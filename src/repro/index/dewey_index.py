@@ -18,6 +18,10 @@ from ..storage.relation import Relation
 from .dictionary import SiblingDictionary
 
 
+class DeweyAssignmentError(ValueError):
+    """A forced Dewey assignment conflicts with the existing tree state."""
+
+
 class DeweyIndex:
     """Bidirectional rid <-> Dewey ID mapping for one relation."""
 
@@ -97,6 +101,77 @@ class DeweyIndex:
         dewey = tuple(components)
         self._dewey_by_rid[rid] = dewey
         self._rid_by_dewey[dewey] = rid
+        return dewey
+
+    def peek(self, rid: int) -> DeweyId:
+        """The Dewey ID :meth:`add` *would* assign to ``rid``, without
+        assigning it.
+
+        This is the write-ahead hook: the durability layer logs the
+        predicted assignment before any in-memory structure mutates, then
+        applies it — :meth:`add` is deterministic given the current
+        dictionary and uniqueness state, so the prediction is exact.
+        """
+        existing = self._dewey_by_rid.get(rid)
+        if existing is not None:
+            return existing
+        row = self._relation[rid]
+        lookup = self._dictionary.lookup
+        components: list[int] = []
+        for position in self._positions:
+            prefix = tuple(components)
+            number = lookup(prefix, row[position])
+            if number is None:
+                number = self._dictionary.next_number(prefix)
+            components.append(number)
+        prefix = tuple(components)
+        components.append(self._uniqueness.get(prefix, 0))
+        return tuple(components)
+
+    def force(self, rid: int, dewey: DeweyId) -> DeweyId:
+        """Adopt a persisted assignment ``rid -> dewey`` exactly.
+
+        The restore path (snapshot load, WAL replay): sibling-dictionary
+        entries and uniqueness counters are reconstructed from the recorded
+        components instead of allocated.  Inconsistencies — wrong depth,
+        duplicate IDs, a value mapping to two components under one prefix —
+        raise :class:`DeweyAssignmentError`.
+        """
+        dewey = tuple(int(component) for component in dewey)
+        if len(dewey) != self.depth:
+            raise DeweyAssignmentError(
+                f"Dewey {dewey} has depth {len(dewey)}, expected {self.depth}"
+            )
+        existing = self._dewey_by_rid.get(rid)
+        if existing is not None:
+            if existing != dewey:
+                raise DeweyAssignmentError(
+                    f"rid {rid} already assigned {existing}, cannot force {dewey}"
+                )
+            return dewey
+        if dewey in self._rid_by_dewey:
+            raise DeweyAssignmentError(f"duplicate Dewey ID {dewey}")
+        row = self._relation[rid]
+        prefix: tuple = ()
+        for position, component in zip(self._positions, dewey):
+            value = row[position]
+            known = self._dictionary.lookup(prefix, value)
+            if known is None:
+                try:
+                    self._dictionary.force(prefix, value, component)
+                except ValueError as error:
+                    raise DeweyAssignmentError(str(error)) from None
+            elif known != component:
+                raise DeweyAssignmentError(
+                    f"value {value!r} maps to both {known} and {component} "
+                    f"under prefix {prefix}"
+                )
+            prefix = prefix + (component,)
+        self._dewey_by_rid[rid] = dewey
+        self._rid_by_dewey[dewey] = rid
+        stem = dewey[:-1]
+        current = self._uniqueness.get(stem, 0)
+        self._uniqueness[stem] = max(current, dewey[-1] + 1)
         return dewey
 
     def remove(self, rid: int) -> Optional[DeweyId]:

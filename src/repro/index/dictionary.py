@@ -22,7 +22,13 @@ class SiblingDictionary:
         self._reverse: dict[tuple, list[Hashable]] = {}
 
     def encode(self, prefix: tuple, value: Hashable) -> int:
-        """Sibling number of ``value`` under ``prefix``, allocating if new."""
+        """Sibling number of ``value`` under ``prefix``, allocating if new.
+
+        New numbers come from the *reverse* table length, not the forward
+        count: a restored dictionary (snapshot load, WAL replay) may hold
+        gaps where a deleted row's value was forgotten, and those sibling
+        numbers must never be reissued to a different value.
+        """
         children = self._forward.get(prefix)
         if children is None:
             children = {}
@@ -30,7 +36,7 @@ class SiblingDictionary:
             self._reverse[prefix] = []
         number = children.get(value)
         if number is None:
-            number = len(children)
+            number = len(self._reverse[prefix])
             children[value] = number
             self._reverse[prefix].append(value)
         return number
@@ -48,6 +54,32 @@ class SiblingDictionary:
         if values is None or not 0 <= number < len(values):
             raise KeyError(f"no sibling {number} under prefix {prefix}")
         return values[number]
+
+    def force(self, prefix: tuple, value: Hashable, number: int) -> None:
+        """Register ``value -> number`` under ``prefix`` exactly (restore path).
+
+        Used when replaying a persisted assignment (snapshot restore, WAL
+        replay): the component is dictated by the record, not allocated.
+        The reverse table is kept dense — gaps are filled with placeholders
+        and overwritten as their real values arrive.  Conflicts (the slot
+        already holds a different value) raise ``ValueError``.
+        """
+        forward = self._forward.setdefault(prefix, {})
+        reverse = self._reverse.setdefault(prefix, [])
+        while len(reverse) <= number:
+            reverse.append(None)
+        if reverse[number] is not None and reverse[number] != value:
+            raise ValueError(
+                f"sibling {number} under prefix {prefix} assigned to both "
+                f"{reverse[number]!r} and {value!r}"
+            )
+        forward[value] = number
+        reverse[number] = value
+
+    def next_number(self, prefix: tuple) -> int:
+        """The sibling number :meth:`encode` would allocate to a new value."""
+        values = self._reverse.get(prefix)
+        return len(values) if values is not None else 0
 
     def fanout(self, prefix: tuple) -> int:
         """Number of distinct children observed under ``prefix``."""

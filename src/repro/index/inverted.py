@@ -184,6 +184,51 @@ class InvertedIndex:
         return [value for (name, value) in self._scalar if name == attribute]
 
     # ------------------------------------------------------------------
+    # Restore hooks (snapshot load / WAL replay)
+    # ------------------------------------------------------------------
+    def restore_epoch(self, epoch: int) -> None:
+        """Adopt a persisted mutation epoch.
+
+        Recovery must land the index on the *same* epoch the crashed
+        process had, or every serving-cache entry computed before the
+        restart would be wrongly invalidated (or, worse, wrongly kept).
+        """
+        if epoch < self._epoch:
+            raise ValueError(
+                f"cannot move epoch backwards ({self._epoch} -> {epoch})"
+            )
+        self._epoch = epoch
+
+    def index_restored_row(self, rid: int) -> DeweyId:
+        """Add one restored row to the posting lists.
+
+        Unlike :meth:`insert`, the Dewey ID must already be force-assigned
+        (see :meth:`DeweyIndex.force`) and the epoch is *not* bumped — the
+        caller restores the persisted epoch separately.
+        """
+        dewey = self._dewey.dewey_of(rid)
+        if dewey in self._all:
+            return dewey
+        row = self._relation[rid]
+        self._all.insert(dewey)
+        for name, value in zip(self._relation.schema.names, row):
+            key = (name, value)
+            postings = self._scalar.get(key)
+            if postings is None:
+                postings = make_posting_list((), self._backend)
+                self._scalar[key] = postings
+            postings.insert(dewey)
+        for name in self._text_attributes:
+            for token in token_set(self._relation.value(rid, name)):
+                key = (name, token)
+                postings = self._token.get(key)
+                if postings is None:
+                    postings = make_posting_list((), self._backend)
+                    self._token[key] = postings
+                postings.insert(dewey)
+        return dewey
+
+    # ------------------------------------------------------------------
     # Incremental maintenance
     # ------------------------------------------------------------------
     def remove(self, rid: int) -> Optional[DeweyId]:
@@ -216,22 +261,6 @@ class InvertedIndex:
         dewey = self._dewey.add(rid)
         if dewey in self._all:
             return dewey
-        row = self._relation[rid]
-        self._all.insert(dewey)
-        for name, value in zip(self._relation.schema.names, row):
-            key = (name, value)
-            postings = self._scalar.get(key)
-            if postings is None:
-                postings = make_posting_list((), self._backend)
-                self._scalar[key] = postings
-            postings.insert(dewey)
-        for name in self._text_attributes:
-            for token in token_set(self._relation.value(rid, name)):
-                key = (name, token)
-                postings = self._token.get(key)
-                if postings is None:
-                    postings = make_posting_list((), self._backend)
-                    self._token[key] = postings
-                postings.insert(dewey)
+        self.index_restored_row(rid)
         self._epoch += 1
         return dewey

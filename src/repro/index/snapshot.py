@@ -11,37 +11,70 @@ assignment matters: bulk builds number siblings in sorted-value order while
 incremental builds number them first-come, and a restore must reproduce the
 exact IDs so that previously returned Dewey IDs stay valid.
 
-Format: a single gzip-compressed JSON document (schema-versioned).
+Format (version 2): a gzip-compressed JSON envelope ``{format, version,
+digest, payload}`` where ``digest`` is the SHA-256 of the canonical payload
+serialisation — a flipped bit anywhere in the payload fails the load
+instead of silently corrupting the restored index.  Writes are atomic:
+the document goes to a same-directory temp file (fsynced), which is then
+renamed over the target, so a crash mid-write can never leave a truncated
+snapshot under the real name.  Rows are keyed by rid, which lets a
+snapshot carry a *subset* of the relation (``rids=``) — one file per shard
+of a sharded deployment (see :mod:`repro.durability.sharded`).  Version-1
+snapshots (whole-relation, no digest) still load.
 """
 
 from __future__ import annotations
 
 import gzip
+import hashlib
 import json
+import os
 from pathlib import Path
-from typing import Union
+from typing import Iterable, Optional, Union
 
 from ..core.dewey import DeweyId
 from ..core.ordering import DiversityOrdering
 from ..storage.relation import Relation
 from ..storage.schema import Attribute, AttributeKind, Schema
-from .dewey_index import DeweyIndex
+from .dewey_index import DeweyAssignmentError, DeweyIndex
 from .inverted import InvertedIndex
 
 FORMAT_NAME = "repro-diversity-index"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+_PAYLOAD_FIELDS = ("schema", "rows", "ordering", "deweys", "backend",
+                   "row_slots", "live_rows")
 
 
 class SnapshotError(ValueError):
     """Raised for malformed or incompatible snapshot files."""
 
 
-def save_index(index: InvertedIndex, target: Union[str, Path]) -> None:
-    """Write ``index`` (and its relation) to a snapshot file."""
+# ----------------------------------------------------------------------
+# Saving
+# ----------------------------------------------------------------------
+def build_payload(index: InvertedIndex, rids: Optional[Iterable[int]] = None) -> dict:
+    """The version-2 snapshot payload for ``index``.
+
+    ``rids`` restricts the row table to a subset of relation slots (a
+    shard's owned rows, live and tombstoned); the Dewey table always
+    reflects exactly what *this* index serves (its live postings).
+    """
     relation = index.relation
-    document = {
-        "format": FORMAT_NAME,
-        "version": FORMAT_VERSION,
+    if rids is None:
+        scope = range(len(relation))
+        partial = False
+    else:
+        scope = sorted(set(int(rid) for rid in rids))
+        partial = True
+    rows = [[rid, list(relation[rid])] for rid in scope]
+    deleted = [rid for rid in scope if relation.is_deleted(rid)]
+    dewey = index.dewey
+    deweys = sorted(
+        (dewey.rid_of(dewey_id), list(dewey_id))
+        for dewey_id in index.all_postings()
+    )
+    return {
         "name": relation.name,
         "backend": index.backend,
         "ordering": list(index.ordering.attributes),
@@ -49,64 +82,215 @@ def save_index(index: InvertedIndex, target: Union[str, Path]) -> None:
             [attribute.name, attribute.kind.value]
             for attribute in relation.schema
         ],
-        "rows": [list(row) for row in relation],
-        "deleted": relation.deleted_rids(),
-        "deweys": [
-            [rid, list(index.dewey.dewey_of(rid))]
-            for rid in sorted(index.dewey.iter_rids())
-        ],
+        "row_slots": len(relation),
+        "live_rows": len(rows) - len(deleted),
+        "partial": partial,
+        "rows": rows,
+        "deleted": deleted,
+        "deweys": deweys,
+        "epoch": index.epoch,
     }
-    payload = json.dumps(document, separators=(",", ":")).encode("utf-8")
-    with gzip.open(target, "wb") as handle:
-        handle.write(payload)
 
 
-def load_index(source: Union[str, Path]) -> InvertedIndex:
-    """Restore an inverted index (and its relation) from a snapshot."""
+def canonical_payload_bytes(payload: dict) -> bytes:
+    """The byte string the payload digest is computed over."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def payload_digest(payload: dict) -> str:
+    return hashlib.sha256(canonical_payload_bytes(payload)).hexdigest()
+
+
+def encode_snapshot(payload: dict) -> bytes:
+    """Serialise a payload into the on-disk (gzip) envelope bytes."""
+    document = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "digest": payload_digest(payload),
+        "payload": payload,
+    }
+    raw = json.dumps(document, separators=(",", ":")).encode("utf-8")
+    return gzip.compress(raw)
+
+
+def write_snapshot(
+    payload: dict,
+    target: Union[str, Path],
+    fsync: bool = True,
+    injector=None,
+) -> None:
+    """Atomically persist a payload: temp file + fsync + rename + dir fsync.
+
+    ``injector`` is a :class:`repro.durability.crash.CrashInjector` (or
+    anything with its ``reach``/``crash`` interface); production callers
+    pass ``None`` and the hooks cost one identity check each.
+    """
+    target = Path(target)
+    data = encode_snapshot(payload)
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        if injector is not None and injector.reach("snapshot-mid-write"):
+            # Simulated kernel crash mid-write: half the envelope reaches
+            # the platter, then the process dies.
+            handle.write(data[: len(data) // 2])
+            handle.flush()
+            os.fsync(handle.fileno())
+            injector.crash()
+        handle.write(data)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    if injector is not None and injector.reach("snapshot-pre-rename"):
+        injector.crash()  # temp file complete, real name still the old snapshot
+    os.replace(tmp, target)
+    if fsync:
+        _fsync_dir(target.parent)
+    if injector is not None and injector.reach("snapshot-post-rename"):
+        injector.crash()  # renamed, but the caller's WAL truncation never ran
+
+
+def save_index(
+    index: InvertedIndex,
+    target: Union[str, Path],
+    rids: Optional[Iterable[int]] = None,
+    fsync: bool = True,
+    injector=None,
+) -> None:
+    """Write ``index`` (and its relation rows) to a snapshot file."""
+    write_snapshot(build_payload(index, rids=rids), target, fsync=fsync,
+                   injector=injector)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry (the rename) to disk; best-effort on
+    platforms that refuse O_RDONLY directory fds."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def read_snapshot(source: Union[str, Path]) -> dict:
+    """Read, checksum-verify and normalise a snapshot into a v2 payload.
+
+    Every failure mode — unreadable file, bad gzip, bad JSON, unknown
+    format/version, missing fields, digest mismatch — surfaces as a
+    :class:`SnapshotError` naming the offending path.
+    """
     try:
         with gzip.open(source, "rb") as handle:
             document = json.loads(handle.read().decode("utf-8"))
     except (OSError, ValueError) as error:
         raise SnapshotError(f"cannot read snapshot {source}: {error}") from None
-    _validate_header(document)
-    schema = Schema(
-        Attribute(name, AttributeKind(kind)) for name, kind in document["schema"]
-    )
-    relation = Relation(schema, name=document.get("name", "R"))
-    for row in document["rows"]:
-        relation.insert(row)
-    for rid in document.get("deleted", []):
-        relation.delete(int(rid))
-    ordering = DiversityOrdering(document["ordering"])
-    assignments = {
-        int(rid): tuple(int(c) for c in components)
-        for rid, components in document["deweys"]
-    }
-    dewey = _restore_dewey(relation, ordering, assignments)
-    index = InvertedIndex(relation, ordering, backend=document["backend"])
-    index._dewey = dewey  # noqa: SLF001 - restoring internal state
-    for rid in sorted(assignments):
-        _index_row(index, rid)
-    return index
+    try:
+        return _normalise_document(document)
+    except SnapshotError as error:
+        raise SnapshotError(f"snapshot {source}: {error}") from None
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise SnapshotError(f"malformed snapshot {source}: {error}") from None
 
 
-def _validate_header(document) -> None:
+def _normalise_document(document) -> dict:
     if not isinstance(document, dict):
-        raise SnapshotError("snapshot root must be an object")
+        raise SnapshotError("root must be an object")
     if document.get("format") != FORMAT_NAME:
         raise SnapshotError(
             f"not a {FORMAT_NAME} snapshot (format={document.get('format')!r})"
         )
-    if document.get("version") != FORMAT_VERSION:
+    version = document.get("version")
+    if version == 1:
+        payload = _upgrade_v1(document)
+    elif version == FORMAT_VERSION:
+        payload = document.get("payload")
+        if not isinstance(payload, dict):
+            raise SnapshotError("version-2 snapshot missing payload object")
+        declared = document.get("digest")
+        actual = payload_digest(payload)
+        if declared != actual:
+            raise SnapshotError(
+                f"payload digest mismatch (declared {declared!r}, "
+                f"computed {actual!r}) — snapshot is corrupt"
+            )
+    else:
+        raise SnapshotError(f"unsupported snapshot version {version!r}")
+    for key in _PAYLOAD_FIELDS:
+        if key not in payload:
+            raise SnapshotError(f"snapshot missing field {key!r}")
+    if len(payload["rows"]) != payload["row_slots"] and not payload.get("partial"):
         raise SnapshotError(
-            f"unsupported snapshot version {document.get('version')!r}"
+            f"row count mismatch: {payload['row_slots']} slots declared, "
+            f"{len(payload['rows'])} rows present — snapshot is truncated"
         )
+    return payload
+
+
+def _upgrade_v1(document: dict) -> dict:
+    """Rewrite a legacy whole-relation v1 document as a v2 payload."""
     for key in ("schema", "rows", "ordering", "deweys", "backend"):
         if key not in document:
             raise SnapshotError(f"snapshot missing field {key!r}")
+    rows = [[rid, list(row)] for rid, row in enumerate(document["rows"])]
+    deleted = [int(rid) for rid in document.get("deleted", [])]
+    return {
+        "name": document.get("name", "R"),
+        "backend": document["backend"],
+        "ordering": document["ordering"],
+        "schema": document["schema"],
+        "row_slots": len(rows),
+        "live_rows": len(rows) - len(deleted),
+        "partial": False,
+        "rows": rows,
+        "deleted": deleted,
+        "deweys": document["deweys"],
+        "epoch": 0,
+    }
 
 
-def _restore_dewey(
+def restore_relation(payload: dict, label: str = "snapshot") -> Relation:
+    """Rebuild the relation from a *complete* payload (every slot present).
+
+    The declared slot and live counts are enforced: silent truncation of
+    the row table (fewer rows than ``row_slots``, or tombstones that do
+    not add up to ``live_rows``) raises instead of loading short.
+    """
+    schema = Schema(
+        Attribute(name, AttributeKind(kind)) for name, kind in payload["schema"]
+    )
+    relation = Relation(schema, name=payload.get("name", "R"))
+    expected = 0
+    for rid, row in sorted((int(rid), row) for rid, row in payload["rows"]):
+        if rid != expected:
+            raise SnapshotError(
+                f"{label} row table has a gap at rid {expected} "
+                f"(next recorded rid is {rid})"
+            )
+        relation.insert(row)
+        expected += 1
+    if expected != payload["row_slots"]:
+        raise SnapshotError(
+            f"{label} declares {payload['row_slots']} row slots but only "
+            f"{expected} rows are present — truncated document"
+        )
+    for rid in payload.get("deleted", []):
+        relation.delete(int(rid))
+    if relation.live_count != payload["live_rows"]:
+        raise SnapshotError(
+            f"{label} declares {payload['live_rows']} live rows but the "
+            f"restored relation has {relation.live_count}"
+        )
+    return relation
+
+
+def restore_dewey(
     relation: Relation,
     ordering: DiversityOrdering,
     assignments: dict[int, DeweyId],
@@ -118,80 +302,47 @@ def _restore_dewey(
     under one prefix, duplicate IDs, wrong depth) are rejected.
     """
     index = DeweyIndex(relation, ordering)
-    positions = [relation.schema.position(name) for name in ordering.attributes]
-    seen_ids: set[DeweyId] = set()
     for rid, dewey in sorted(assignments.items()):
         if not 0 <= rid < len(relation):
             raise SnapshotError(f"snapshot references unknown rid {rid}")
-        if len(dewey) != ordering.depth:
-            raise SnapshotError(
-                f"Dewey {dewey} has depth {len(dewey)}, expected {ordering.depth}"
-            )
-        if dewey in seen_ids:
-            raise SnapshotError(f"duplicate Dewey ID {dewey} in snapshot")
-        seen_ids.add(dewey)
-        row = relation[rid]
-        prefix: tuple = ()
-        for position, component in zip(positions, dewey):
-            value = row[position]
-            known = index._dictionary.lookup(prefix, value)  # noqa: SLF001
-            if known is None:
-                _force_component(index, prefix, value, component)
-            elif known != component:
-                raise SnapshotError(
-                    f"inconsistent snapshot: value {value!r} maps to both "
-                    f"{known} and {component} under prefix {prefix}"
-                )
-            prefix = prefix + (component,)
-        index._dewey_by_rid[rid] = dewey  # noqa: SLF001
-        index._rid_by_dewey[dewey] = rid  # noqa: SLF001
-        stem = dewey[:-1]
-        current = index._uniqueness.get(stem, 0)  # noqa: SLF001
-        index._uniqueness[stem] = max(current, dewey[-1] + 1)  # noqa: SLF001
+        try:
+            index.force(rid, dewey)
+        except DeweyAssignmentError as error:
+            raise SnapshotError(f"inconsistent snapshot: {error}") from None
     return index
 
 
-def _force_component(index: DeweyIndex, prefix: tuple, value, component: int) -> None:
-    """Register ``value -> component`` in the sibling dictionary, keeping the
-    reverse table dense (gaps are filled with placeholders and overwritten
-    as their real values arrive)."""
-    dictionary = index._dictionary  # noqa: SLF001
-    forward = dictionary._forward.setdefault(prefix, {})  # noqa: SLF001
-    reverse = dictionary._reverse.setdefault(prefix, [])  # noqa: SLF001
-    while len(reverse) <= component:
-        reverse.append(None)
-    if reverse[component] is not None and reverse[component] != value:
+def restore_index(payload: dict, label: str = "snapshot") -> InvertedIndex:
+    """Materialise an :class:`InvertedIndex` from a complete payload."""
+    if payload.get("partial"):
         raise SnapshotError(
-            f"inconsistent snapshot: component {component} under {prefix} "
-            f"assigned to both {reverse[component]!r} and {value!r}"
+            f"{label} is a shard-subset snapshot; recover the deployment "
+            f"directory instead (repro.durability)"
         )
-    forward[value] = component
-    reverse[component] = value
+    relation = restore_relation(payload, label)
+    ordering = DiversityOrdering(payload["ordering"])
+    assignments = {
+        int(rid): tuple(int(c) for c in components)
+        for rid, components in payload["deweys"]
+    }
+    dewey = restore_dewey(relation, ordering, assignments)
+    index = InvertedIndex(relation, ordering, backend=payload["backend"],
+                          dewey=dewey)
+    for rid in sorted(assignments):
+        index.index_restored_row(rid)
+    index.restore_epoch(int(payload.get("epoch", 0)))
+    return index
 
 
-def _index_row(index: InvertedIndex, rid: int) -> None:
-    """Add one restored row to the posting lists (Dewey already assigned)."""
-    from ..storage.schema import AttributeKind as AK
-    from .postings import make_posting_list
-    from .tokenize import token_set
-
-    dewey = index.dewey.dewey_of(rid)
-    relation = index.relation
-    index._all.insert(dewey)  # noqa: SLF001
-    for name, value in zip(relation.schema.names, relation[rid]):
-        key = (name, value)
-        postings = index._scalar.get(key)  # noqa: SLF001
-        if postings is None:
-            postings = make_posting_list((), index.backend)
-            index._scalar[key] = postings  # noqa: SLF001
-        postings.insert(dewey)
-    for attribute in relation.schema:
-        if attribute.kind is not AK.TEXT:
-            continue
-        for token in token_set(relation.value(rid, attribute.name)):
-            key = (attribute.name, token)
-            postings = index._token.get(key)  # noqa: SLF001
-            if postings is None:
-                postings = make_posting_list((), index.backend)
-                index._token[key] = postings  # noqa: SLF001
-            postings.insert(dewey)
+def load_index(source: Union[str, Path]) -> InvertedIndex:
+    """Restore an inverted index (and its relation) from a snapshot."""
+    payload = read_snapshot(source)
+    try:
+        return restore_index(payload, label=f"snapshot {source}")
+    except SnapshotError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        # Malformed structures inside a well-checksummed envelope (wrong
+        # nesting, bad attribute kinds, non-numeric components) must not
+        # leak raw exceptions to callers.
+        raise SnapshotError(f"malformed snapshot {source}: {error}") from None

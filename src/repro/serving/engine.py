@@ -100,6 +100,9 @@ class ServingEngine:
         router="hash",
         workers: int = 0,
         policy=None,
+        data_dir=None,
+        snapshot_every: int = 0,
+        fsync_every: int = 1,
         **cache_options,
     ) -> "ServingEngine":
         """Build a serving engine; ``shards > 1`` builds a sharded deployment.
@@ -110,6 +113,14 @@ class ServingEngine:
         holds unchanged.  ``workers`` sizes the scatter-gather thread pool;
         ``policy`` (a :class:`~repro.resilience.ResiliencePolicy`) sets the
         deadline/retry/breaker budgets of the sharded fan-out.
+
+        ``data_dir`` makes the deployment crash-safe: the built index is
+        snapshotted there and every subsequent mutation is write-ahead-
+        logged (one WAL per shard) before it is applied.  A positive
+        ``snapshot_every`` re-snapshots (and truncates the log) whenever a
+        store's log reaches that many records; ``fsync_every`` batches WAL
+        fsyncs (1 = every record).  Use :meth:`recover` to reopen the
+        directory after a crash or restart.
         """
         if shards > 1:
             from ..sharding import ShardedEngine
@@ -118,9 +129,57 @@ class ServingEngine:
                 relation, ordering, shards=shards, backend=backend,
                 router=router, workers=workers, policy=policy,
             )
+            if data_dir is not None:
+                from ..durability import create_sharded_store
+
+                create_sharded_store(
+                    engine.index, data_dir,
+                    snapshot_every=snapshot_every, fsync_every=fsync_every,
+                )
         else:
             engine = DiversityEngine.from_relation(relation, ordering, backend=backend)
+            if data_dir is not None:
+                from ..durability import create_store
+
+                engine._index = create_store(
+                    engine.index, data_dir,
+                    snapshot_every=snapshot_every, fsync_every=fsync_every,
+                )
         return cls(engine, ServingCache(**cache_options) if cache_options else None)
+
+    @classmethod
+    def recover(
+        cls,
+        data_dir,
+        workers: int = 0,
+        policy=None,
+        snapshot_every: Optional[int] = None,
+        fsync_every: Optional[int] = None,
+        cache: Optional[ServingCache] = None,
+        **cache_options,
+    ) -> "ServingEngine":
+        """Resurrect a serving engine from a durable data directory.
+
+        Dispatches on the directory's manifest (single-index or sharded),
+        replays each WAL over its snapshot, and reopens the logs for
+        writing.  The recovered index lands on the exact epoch the crashed
+        process had acknowledged, so passing the previous process's
+        ``cache`` (e.g. an external cache tier) keeps its warm entries
+        valid — epoch-keyed invalidation carries across the restart.
+        """
+        from ..durability import DurableIndex, recover
+
+        recovered = recover(data_dir, snapshot_every=snapshot_every,
+                            fsync_every=fsync_every)
+        if isinstance(recovered, DurableIndex):
+            engine = DiversityEngine(recovered)
+        else:
+            from ..sharding import ShardedEngine
+
+            engine = ShardedEngine(recovered, workers=workers, policy=policy)
+        if cache is None and cache_options:
+            cache = ServingCache(**cache_options)
+        return cls(engine, cache)
 
     @property
     def engine(self) -> DiversityEngine:
@@ -159,12 +218,21 @@ class ServingEngine:
     # Lifecycle (persistent batch pool)
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the batch pool down and close the wrapped engine (idempotent)."""
+        """Shut the batch pool down and close the wrapped engine (idempotent).
+
+        Durable stores attached to the index (single or per-shard) are
+        closed too, syncing and releasing their WAL file handles."""
         pool, self._pool = self._pool, None
         self._pool_size = 0
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
         self._engine.close()
+        index = self._engine.index
+        stores = getattr(index, "shards", [index])
+        for store in stores:
+            closer = getattr(store, "close", None)
+            if callable(closer):
+                closer()
 
     def __enter__(self) -> "ServingEngine":
         return self

@@ -112,6 +112,12 @@ class RangeRouter(ShardRouter):
     def shard_of(self, value: Any) -> int:
         return bisect.bisect_right(self._boundaries, _sort_key(value))
 
+    @property
+    def boundaries(self) -> list:
+        """The boundary sort-keys (for persistence: a recovered deployment
+        must route exactly like the one that wrote the shards)."""
+        return [tuple(boundary) for boundary in self._boundaries]
+
     def __repr__(self) -> str:
         return f"RangeRouter(shards={self._shards})"
 

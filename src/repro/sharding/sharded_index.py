@@ -158,6 +158,37 @@ class ShardedIndex:
         ]
         return index
 
+    @classmethod
+    def from_parts(
+        cls,
+        relation: Relation,
+        ordering: DiversityOrdering,
+        dewey: DeweyIndex,
+        router: ShardRouter,
+        shards: Sequence,
+        backend: str = ARRAY_BACKEND,
+    ) -> "ShardedIndex":
+        """Reassemble a sharded index from already-built parts.
+
+        The recovery path (:mod:`repro.durability.sharded`) restores the
+        relation, the global Dewey assignment, the persisted router, and
+        each shard index separately, then stitches them back together here
+        — no re-routing or re-building happens.
+        """
+        if router.shards != len(shards):
+            raise ValueError(
+                f"router covers {router.shards} shards, got {len(shards)}"
+            )
+        index = cls.__new__(cls)
+        index._relation = relation
+        index._ordering = ordering
+        index._backend = backend
+        index._dewey = dewey
+        index._route_position = relation.schema.position(ordering.attributes[0])
+        index._router = router
+        index._shards = list(shards)
+        return index
+
     def _route_values(self) -> list:
         position = self._route_position
         return [row[position] for _, row in self._relation.iter_live()]

@@ -1,0 +1,253 @@
+"""The differential crash matrix.
+
+A profiling pass runs a scripted mutation workload with an un-armed
+:class:`CrashInjector` to enumerate every *(crash point, occurrence)* pair
+the write path passes.  The matrix then re-runs the workload once per
+pair, killing the writer exactly there (with the point's realistic disk
+damage applied first), recovers the data directory, and asserts the
+recovered state is **bit-identical to the pre-crash or the post-crash
+reference state — never anything in between**.  "State" means the index
+epoch, every Dewey assignment, the live and deleted rows, and the
+answers of all five diversity algorithms (scored and unscored) on fixed
+queries.
+
+Set ``REPRO_CRASH_MAX_OCC=N`` to cap occurrences per point (CI smoke).
+"""
+
+import os
+
+import pytest
+
+from repro import DiversityEngine
+from repro.core.engine import ALGORITHMS
+from repro.data.paper_example import figure1_ordering, figure1_relation
+from repro.durability import (
+    CrashInjector,
+    RecoveryError,
+    SimulatedCrash,
+    create_sharded_store,
+    create_store,
+    recover,
+)
+from repro.durability.crash import CRASH_POINTS
+from repro.durability.store import WAL_NAME
+from repro.durability.wal import MAGIC
+from repro.index.inverted import InvertedIndex
+from repro.sharding import ShardedIndex
+
+#: 0 means "every occurrence the profiling pass found".
+MAX_OCC = int(os.environ.get("REPRO_CRASH_MAX_OCC", "0"))
+
+#: The scripted workload: inserts and removes interleaved so WAL replay
+#: exercises both ops, including the removal of a row (rid 15) that only
+#: ever existed through the log.
+STEPS = [
+    ("insert", ("Tesla", "ModelS", "Red", 2008, "rare electric clean")),
+    ("insert", ("Kia", "Rio", "Green", 2006, "cheap commuter")),
+    ("remove", 1),
+    ("insert", ("Honda", "Fit", "Orange", 2008, "low miles")),
+    ("insert", ("Acura", "TSX", "Silver", 2007, "one owner")),
+    ("remove", 15),
+    ("insert", ("Ford", "Focus", "Blue", 2005, "new tires")),
+    ("insert", ("Honda", "Prelude", "Black", 2007, "rare manual")),
+]
+
+QUERIES = [
+    "Make = 'Honda'",
+    "Color = 'Green' OR Description CONTAINS 'miles'",
+]
+
+
+def state_signature(index):
+    """Everything recovery must reproduce, hashed down to comparables."""
+    relation = index.relation
+    engine = DiversityEngine(index)
+    answers = tuple(
+        tuple(engine.search(query, k=4, algorithm=algorithm, scored=scored).deweys)
+        for query in QUERIES
+        for algorithm in ALGORITHMS
+        for scored in (False, True)
+    )
+    return (
+        index.epoch,
+        tuple(sorted(
+            (rid, index.dewey.dewey_of(rid)) for rid in index.dewey.iter_rids()
+        )),
+        tuple(tuple(row) for row in relation),
+        tuple(relation.deleted_rids()),
+        answers,
+    )
+
+
+def apply_step(target, relation, step):
+    op, arg = step
+    if op == "insert":
+        target.insert(relation.insert(arg))
+    else:
+        relation.delete(arg)
+        target.remove(arg)
+
+
+def run_until_crash(target, relation, steps):
+    """Apply ``steps``; return (steps fully completed, crashed?)."""
+    completed = 0
+    try:
+        for step in steps:
+            apply_step(target, relation, step)
+            completed += 1
+    except SimulatedCrash:
+        return completed, True
+    return completed, False
+
+
+# ----------------------------------------------------------------------
+# Single-store matrix
+# ----------------------------------------------------------------------
+def _build_single(data_dir):
+    relation = figure1_relation()
+    index = InvertedIndex.build(relation, figure1_ordering())
+    store = create_store(index, data_dir, snapshot_every=3)
+    return store, relation, index
+
+
+@pytest.fixture(scope="module")
+def single_references(tmp_path_factory):
+    """Signature after store creation and after every workload step."""
+    store, relation, index = _build_single(
+        tmp_path_factory.mktemp("refs") / "store"
+    )
+    references = [state_signature(index)]
+    for step in STEPS:
+        apply_step(store, relation, step)
+        references.append(state_signature(index))
+    store.close()
+    return references
+
+
+@pytest.fixture(scope="module")
+def single_profile(tmp_path_factory):
+    """How often the clean workload passes each crash point."""
+    store, relation, _ = _build_single(
+        tmp_path_factory.mktemp("profile") / "store"
+    )
+    injector = CrashInjector()
+    store.arm(injector)
+    completed, crashed = run_until_crash(store, relation, STEPS)
+    store.close()
+    assert not crashed and completed == len(STEPS)
+    return dict(injector.reached)
+
+
+def _occurrences(profile, point):
+    count = profile.get(point, 0)
+    assert count > 0, (
+        f"workload never reaches {point}; the matrix has a blind spot"
+    )
+    return range(1, min(count, MAX_OCC) + 1 if MAX_OCC else count + 1)
+
+
+@pytest.mark.parametrize("point", CRASH_POINTS)
+def test_single_store_matrix(point, single_references, single_profile, tmp_path):
+    for occurrence in _occurrences(single_profile, point):
+        data_dir = tmp_path / f"{point}-{occurrence}"
+        store, relation, _ = _build_single(data_dir)
+        store.arm(CrashInjector(point, occurrence=occurrence))
+        completed, crashed = run_until_crash(store, relation, STEPS)
+        assert crashed, f"{point} #{occurrence} did not fire"
+
+        recovered = recover(data_dir)
+        got = state_signature(recovered.index)
+        allowed = {
+            single_references[completed],
+            single_references[completed + 1],
+        }
+        assert got in allowed, (
+            f"{point} #{occurrence}: recovered state matches neither the "
+            f"pre- nor post-crash reference (crash mid-step {completed + 1})"
+        )
+        recovered.close()
+
+
+# ----------------------------------------------------------------------
+# Sharded matrix (smaller: shared injector across both shards' WALs)
+# ----------------------------------------------------------------------
+SHARDED_STEPS = STEPS[:6]
+SHARDED_MAX_OCC = MAX_OCC or 2
+
+
+def _build_sharded(data_dir):
+    relation = figure1_relation()
+    index = ShardedIndex.build(relation, figure1_ordering(), shards=2)
+    create_sharded_store(index, data_dir, snapshot_every=2)
+    return index, relation
+
+
+@pytest.fixture(scope="module")
+def sharded_references(tmp_path_factory):
+    index, relation = _build_sharded(tmp_path_factory.mktemp("srefs") / "c")
+    references = [state_signature(index)]
+    for step in SHARDED_STEPS:
+        apply_step(index, relation, step)
+        references.append(state_signature(index))
+    for shard in index.shards:
+        shard.close()
+    return references
+
+
+@pytest.fixture(scope="module")
+def sharded_profile(tmp_path_factory):
+    index, relation = _build_sharded(tmp_path_factory.mktemp("sprof") / "c")
+    injector = CrashInjector()
+    for shard in index.shards:
+        shard.arm(injector)
+    completed, crashed = run_until_crash(index, relation, SHARDED_STEPS)
+    for shard in index.shards:
+        shard.close()
+    assert not crashed and completed == len(SHARDED_STEPS)
+    return dict(injector.reached)
+
+
+@pytest.mark.parametrize("point", CRASH_POINTS)
+def test_sharded_matrix(point, sharded_references, sharded_profile, tmp_path):
+    count = sharded_profile.get(point, 0)
+    assert count > 0, f"sharded workload never reaches {point}"
+    for occurrence in range(1, min(count, SHARDED_MAX_OCC) + 1):
+        data_dir = tmp_path / f"{point}-{occurrence}"
+        index, relation = _build_sharded(data_dir)
+        injector = CrashInjector(point, occurrence=occurrence)
+        for shard in index.shards:
+            shard.arm(injector)
+        completed, crashed = run_until_crash(index, relation, SHARDED_STEPS)
+        assert crashed, f"{point} #{occurrence} did not fire (sharded)"
+
+        recovered = recover(data_dir)
+        got = state_signature(recovered)
+        allowed = {
+            sharded_references[completed],
+            sharded_references[completed + 1],
+        }
+        assert got in allowed, (
+            f"sharded {point} #{occurrence}: recovered state matches "
+            f"neither reference (crash mid-step {completed + 1})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Damage that is NOT a crash signature must be refused, loudly.
+# ----------------------------------------------------------------------
+def test_corruption_before_tail_raises_structured_error(tmp_path):
+    store, relation, _ = _build_single(tmp_path / "store")
+    for step in STEPS[:2]:  # two durable records, no snapshot cycle yet
+        apply_step(store, relation, step)
+    store.close()
+
+    wal_path = tmp_path / "store" / WAL_NAME
+    data = bytearray(wal_path.read_bytes())
+    data[len(MAGIC) + 12] ^= 0x01  # inside record 1 of 2: before the tail
+    wal_path.write_bytes(bytes(data))
+
+    with pytest.raises(RecoveryError) as excinfo:
+        recover(tmp_path / "store")
+    error = excinfo.value
+    assert str(wal_path.parent) in str(error.path)
+    assert "mid-log" in error.reason

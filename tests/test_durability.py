@@ -1,0 +1,415 @@
+"""Tests for the durable store layer: WAL-ahead mutation, auto-snapshot,
+recovery, epoch continuity across restart, and the CLI surface."""
+
+import pytest
+
+from repro import DiversityEngine, ServingEngine
+from repro.__main__ import main as cli_main
+from repro.core.engine import ALGORITHMS
+from repro.data.paper_example import figure1_ordering, figure1_relation
+from repro.durability import (
+    DurableIndex,
+    RecoveryError,
+    create_sharded_store,
+    create_store,
+    recover,
+    recover_store,
+    recover_sharded_store,
+)
+from repro.durability.store import SNAPSHOT_NAME, WAL_NAME
+from repro.durability.wal import read_wal
+from repro.index.inverted import InvertedIndex
+from repro.sharding.sharded_index import ShardedIndex
+
+NEW_ROWS = [
+    ("Tesla", "ModelS", "Red", 2008, "rare electric clean"),
+    ("Kia", "Rio", "Green", 2006, "cheap commuter"),
+    ("Honda", "Fit", "Orange", 2008, "low miles"),
+    ("Acura", "TSX", "Silver", 2007, "one owner"),
+]
+
+QUERIES = [
+    "Make = 'Honda'",
+    "Color = 'Green' OR Description CONTAINS 'miles'",
+]
+
+
+def _signature(index):
+    """Everything recovery must reproduce bit-identically."""
+    relation = index.relation
+    engine = DiversityEngine(index)
+    answers = tuple(
+        tuple(engine.search(q, k=4, algorithm=a, scored=s).deweys)
+        for q in QUERIES
+        for a in ALGORITHMS
+        for s in (False, True)
+    )
+    return (
+        index.epoch,
+        tuple(sorted((rid, index.dewey.dewey_of(rid))
+                     for rid in index.dewey.iter_rids())),
+        tuple(tuple(row) for row in relation),
+        tuple(relation.deleted_rids()),
+        answers,
+    )
+
+
+def _fresh_store(tmp_path, name="store", **kwargs):
+    relation = figure1_relation()
+    index = InvertedIndex.build(relation, figure1_ordering())
+    return create_store(index, tmp_path / name, **kwargs)
+
+
+class TestSingleStore:
+    def test_records_written_before_apply(self, tmp_path):
+        store = _fresh_store(tmp_path)
+        relation = store.relation
+        rid = relation.insert(NEW_ROWS[0])
+        store.insert(rid)
+        store.close()
+        records = read_wal(tmp_path / "store" / WAL_NAME).records
+        assert len(records) == 1
+        assert records[0]["op"] == "insert"
+        assert records[0]["rid"] == rid
+        assert tuple(records[0]["dewey"]) == store.dewey.dewey_of(rid)
+        assert records[0]["seq"] == store.epoch
+
+    def test_recovery_replays_to_identical_state(self, tmp_path):
+        store = _fresh_store(tmp_path)
+        relation = store.relation
+        for row in NEW_ROWS[:3]:
+            store.insert(relation.insert(row))
+        relation.delete(1)
+        store.remove(1)
+        expected = _signature(store.index)
+        store.close()
+        recovered = recover(tmp_path / "store")
+        assert isinstance(recovered, DurableIndex)
+        assert _signature(recovered.index) == expected
+        assert recovered.recovery.replayed == 4
+
+    def test_idempotent_insert_writes_no_record(self, tmp_path):
+        store = _fresh_store(tmp_path)
+        rid = store.relation.insert(NEW_ROWS[0])
+        store.insert(rid)
+        store.insert(rid)  # double-apply must not double-log
+        store.close()
+        assert len(read_wal(tmp_path / "store" / WAL_NAME).records) == 1
+
+    def test_remove_of_absent_rid_writes_no_record(self, tmp_path):
+        store = _fresh_store(tmp_path)
+        assert store.remove(999_999 if False else 14) is not None
+        assert store.remove(14) is None  # already gone
+        store.close()
+        assert len(read_wal(tmp_path / "store" / WAL_NAME).records) == 1
+
+    def test_auto_snapshot_by_log_length(self, tmp_path):
+        store = _fresh_store(tmp_path, snapshot_every=3)
+        relation = store.relation
+        for row in NEW_ROWS:  # 4 mutations: snapshot fires at the 3rd
+            store.insert(relation.insert(row))
+        assert store.snapshots == 1
+        assert store.wal.appended_since_truncate == 1
+        store.close()
+        # The snapshot absorbed the first three records.
+        assert len(read_wal(tmp_path / "store" / WAL_NAME).records) == 1
+        recovered = recover(tmp_path / "store")
+        assert recovered.recovery.snapshot_epoch == 3
+        assert recovered.recovery.replayed == 1
+        assert _signature(recovered.index) == _signature(store.index)
+
+    def test_recovered_store_keeps_accepting_writes(self, tmp_path):
+        store = _fresh_store(tmp_path)
+        store.insert(store.relation.insert(NEW_ROWS[0]))
+        store.close()
+        recovered = recover(tmp_path / "store")
+        rid = recovered.relation.insert(NEW_ROWS[1])
+        recovered.insert(rid)
+        recovered.close()
+        second = recover(tmp_path / "store")
+        assert _signature(second.index) == _signature(recovered.index)
+
+    def test_stale_records_skipped_after_snapshot(self, tmp_path):
+        """A snapshot without log truncation (the post-rename crash window)
+        must not replay covered records twice."""
+        store = _fresh_store(tmp_path)
+        relation = store.relation
+        for row in NEW_ROWS[:2]:
+            store.insert(relation.insert(row))
+        # Snapshot manually, bypassing the truncation the normal path does.
+        from repro.index.snapshot import save_index
+
+        save_index(store.index, store.snapshot_path)
+        store.insert(relation.insert(NEW_ROWS[2]))
+        expected = _signature(store.index)
+        store.close()
+        recovered = recover(tmp_path / "store")
+        assert recovered.recovery.skipped == 2
+        assert recovered.recovery.replayed == 1
+        assert _signature(recovered.index) == expected
+
+    def test_sequence_gap_raises(self, tmp_path):
+        store = _fresh_store(tmp_path)
+        relation = store.relation
+        for row in NEW_ROWS[:3]:
+            store.insert(relation.insert(row))
+        store.close()
+        # Drop the middle record (frames 1 and 3 intact): a gap in
+        # acknowledged mutations, not a torn tail.
+        wal_path = tmp_path / "store" / WAL_NAME
+        scan = read_wal(wal_path)
+        from repro.durability.wal import MAGIC, encode_frame
+
+        frames = [encode_frame(r) for r in scan.records]
+        wal_path.write_bytes(MAGIC + frames[0] + frames[2])
+        with pytest.raises(RecoveryError, match="sequence gap"):
+            recover(tmp_path / "store")
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(RecoveryError, match="MANIFEST"):
+            recover(tmp_path / "nothing-here")
+
+    def test_corrupt_snapshot_raises_recovery_error(self, tmp_path):
+        store = _fresh_store(tmp_path)
+        store.close()
+        snapshot = tmp_path / "store" / SNAPSHOT_NAME
+        data = bytearray(snapshot.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        snapshot.write_bytes(bytes(data))
+        with pytest.raises(RecoveryError):
+            recover(tmp_path / "store")
+
+    def test_wrong_kind_dispatch(self, tmp_path):
+        store = _fresh_store(tmp_path)
+        store.close()
+        with pytest.raises(RecoveryError, match="not a sharded store"):
+            recover_sharded_store(tmp_path / "store")
+
+
+class TestShardedStore:
+    def _build(self, tmp_path, shards=3, router="hash", snapshot_every=0):
+        relation = figure1_relation()
+        index = ShardedIndex.build(
+            relation, figure1_ordering(), shards=shards, router=router
+        )
+        create_sharded_store(
+            index, tmp_path / "cluster", snapshot_every=snapshot_every
+        )
+        return index
+
+    def test_mutations_route_to_per_shard_wals(self, tmp_path):
+        index = self._build(tmp_path)
+        relation = index.relation
+        rids = [relation.insert(row) for row in NEW_ROWS]
+        for rid in rids:
+            index.insert(rid)
+        per_shard = [
+            len(read_wal(tmp_path / "cluster" / f"shard-{i:04d}" / WAL_NAME).records)
+            for i in range(index.num_shards)
+        ]
+        assert sum(per_shard) == len(rids)
+        for rid in rids:
+            shard = index.shard_of(rid)
+            assert any(
+                record["rid"] == rid
+                for record in read_wal(
+                    tmp_path / "cluster" / f"shard-{shard:04d}" / WAL_NAME
+                ).records
+            )
+
+    def test_full_deployment_recovery(self, tmp_path):
+        index = self._build(tmp_path, shards=3)
+        relation = index.relation
+        for row in NEW_ROWS:
+            index.insert(relation.insert(row))
+        relation.delete(2)
+        index.remove(2)
+        expected = _signature(index)
+        expected_epochs = index.shard_epochs()
+        for shard in index.shards:
+            shard.close()
+        recovered = recover(tmp_path / "cluster")
+        assert isinstance(recovered, ShardedIndex)
+        assert recovered.shard_epochs() == expected_epochs
+        assert _signature(recovered) == expected
+
+    def test_independent_shard_snapshots(self, tmp_path):
+        """Shards snapshot at different times; recovery reconciles the
+        mixed snapshot epochs + logs into one consistent deployment."""
+        index = self._build(tmp_path, shards=2, snapshot_every=2)
+        relation = index.relation
+        for row in NEW_ROWS * 2:
+            index.insert(relation.insert(row))
+        snapshots = [shard.snapshots for shard in index.shards]
+        assert any(count > 0 for count in snapshots)
+        expected = _signature(index)
+        for shard in index.shards:
+            shard.close()
+        recovered = recover(tmp_path / "cluster")
+        assert _signature(recovered) == expected
+
+    def test_range_router_boundaries_survive(self, tmp_path):
+        index = self._build(tmp_path, shards=3, router="range")
+        expected_boundaries = index.router.boundaries
+        for shard in index.shards:
+            shard.close()
+        recovered = recover(tmp_path / "cluster")
+        assert recovered.router.boundaries == expected_boundaries
+        # New values route identically post-recovery.
+        rid = recovered.relation.insert(NEW_ROWS[0])
+        assert index.relation.insert(NEW_ROWS[0]) == rid
+        assert recovered.shard_of(rid) == index.shard_of(rid)
+
+    def test_missing_shard_raises(self, tmp_path):
+        index = self._build(tmp_path, shards=3)
+        for shard in index.shards:
+            shard.close()
+        import shutil
+
+        shutil.rmtree(tmp_path / "cluster" / "shard-0001")
+        with pytest.raises(RecoveryError, match="shard 1"):
+            recover(tmp_path / "cluster")
+
+    def test_chaos_wrappers_refused(self, tmp_path):
+        from repro.resilience import ChaosPolicy
+
+        relation = figure1_relation()
+        index = ShardedIndex.build(relation, figure1_ordering(), shards=2)
+        index.inject_chaos(ChaosPolicy(seed=1))
+        with pytest.raises(TypeError, match="clear chaos"):
+            create_sharded_store(index, tmp_path / "cluster")
+
+    def test_clear_chaos_preserves_durability(self, tmp_path):
+        """Regression guard: un-wrapping chaos proxies must not also strip
+        the durability wrappers (the ``inner`` vs ``index`` naming)."""
+        from repro.resilience import ChaosPolicy
+
+        index = self._build(tmp_path, shards=2)
+        index.inject_chaos(ChaosPolicy(seed=1))
+        index.clear_chaos()
+        assert all(isinstance(shard, DurableIndex) for shard in index.shards)
+
+
+class TestServingRestart:
+    def test_warm_cache_survives_restart(self, tmp_path):
+        """Epoch continuity: entries cached before a restart are served as
+        hits afterwards, because recovery reproduces the exact epoch."""
+        serving = ServingEngine.from_relation(
+            figure1_relation(), figure1_ordering(), data_dir=tmp_path / "data"
+        )
+        serving.insert(NEW_ROWS[0])
+        first = serving.search(QUERIES[0], k=3)
+        cache = serving.cache
+        epoch = serving.epoch
+        serving.close()
+
+        warm = ServingEngine.recover(tmp_path / "data", cache=cache)
+        assert warm.epoch == epoch
+        hits_before = warm.stats.hits
+        again = warm.search(QUERIES[0], k=3)
+        assert again.deweys == first.deweys
+        assert warm.stats.hits == hits_before + 1
+        warm.close()
+
+    def test_stale_cache_entries_die_after_recovered_mutation(self, tmp_path):
+        serving = ServingEngine.from_relation(
+            figure1_relation(), figure1_ordering(), data_dir=tmp_path / "data"
+        )
+        serving.search(QUERIES[0], k=3)
+        cache = serving.cache
+        serving.close()
+        warm = ServingEngine.recover(tmp_path / "data", cache=cache)
+        warm.insert(("Honda", "Prelude", "Black", 2007, "rare manual"))
+        misses_before = warm.stats.misses
+        warm.search(QUERIES[0], k=3)
+        assert warm.stats.misses == misses_before + 1  # epoch moved on
+        warm.close()
+
+    def test_sharded_serving_recover(self, tmp_path):
+        serving = ServingEngine.from_relation(
+            figure1_relation(), figure1_ordering(), shards=2,
+            data_dir=tmp_path / "data", snapshot_every=3,
+        )
+        for row in NEW_ROWS:
+            serving.insert(row)
+        expected = serving.search(QUERIES[1], k=4).deweys
+        epoch = serving.epoch
+        serving.close()
+        recovered = ServingEngine.recover(tmp_path / "data")
+        assert recovered.epoch == epoch
+        assert recovered.search(QUERIES[1], k=4).deweys == expected
+        recovered.close()
+
+
+class TestCli:
+    def _write_csv(self, tmp_path):
+        csv = tmp_path / "cars.csv"
+        csv.write_text(
+            "Make:categorical,Model:categorical,Color:categorical,"
+            "Year:numeric,Description:text\n"
+            "Honda,Civic,Blue,2007,low miles clean\n"
+            "Honda,Accord,Green,2006,one owner\n"
+            "Toyota,Camry,Red,2007,new tires\n"
+            "Kia,Rio,Green,2006,cheap commuter\n"
+        )
+        return csv
+
+    def test_build_and_recover_single(self, tmp_path, capsys):
+        csv = self._write_csv(tmp_path)
+        assert cli_main([
+            "build", str(csv), "--ordering", "Make,Model,Color",
+            "--data-dir", str(tmp_path / "store"), "--snapshot-every", "5",
+        ]) == 0
+        assert cli_main(["recover", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "recovered 4 live rows" in out
+
+    def test_build_and_recover_sharded_with_query(self, tmp_path, capsys):
+        csv = self._write_csv(tmp_path)
+        assert cli_main([
+            "build", str(csv), "--ordering", "Make,Model",
+            "--data-dir", str(tmp_path / "store"), "--shards", "2",
+        ]) == 0
+        assert cli_main([
+            "recover", str(tmp_path / "store"),
+            "--query", "Make = 'Honda'", "-k", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shard-0000" in out and "shard-0001" in out
+        assert "Civic" in out or "Accord" in out
+
+    def test_query_command_accepts_data_dir(self, tmp_path, capsys):
+        csv = self._write_csv(tmp_path)
+        cli_main([
+            "build", str(csv), "--ordering", "Make,Model",
+            "--data-dir", str(tmp_path / "store"),
+        ])
+        assert cli_main([
+            "query", str(tmp_path / "store"), "Color = 'Green'", "-k", "3",
+        ]) == 0
+        assert "Accord" in capsys.readouterr().out
+
+    def test_recover_missing_dir_exits_4(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["recover", str(tmp_path / "missing")])
+        assert excinfo.value.code == 4
+        assert "recovery failed" in capsys.readouterr().err
+
+    def test_recover_corrupt_store_exits_4(self, tmp_path, capsys):
+        csv = self._write_csv(tmp_path)
+        cli_main([
+            "build", str(csv), "--ordering", "Make,Model",
+            "--data-dir", str(tmp_path / "store"),
+        ])
+        snapshot = tmp_path / "store" / SNAPSHOT_NAME
+        snapshot.write_bytes(b"garbage, not gzip")
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["recover", str(tmp_path / "store")])
+        assert excinfo.value.code == 4
+
+    def test_build_requires_destination(self, tmp_path, capsys):
+        csv = self._write_csv(tmp_path)
+        assert cli_main([
+            "build", str(csv), "--ordering", "Make,Model",
+        ]) == 2
+        assert "--out and/or --data-dir" in capsys.readouterr().err

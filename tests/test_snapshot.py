@@ -1,4 +1,4 @@
-"""Tests for index snapshot save/load."""
+"""Tests for index snapshot save/load (v2 checksummed format)."""
 
 import gzip
 import json
@@ -9,12 +9,33 @@ from repro import DiversityEngine
 from repro.data.autos import AutosSpec, autos_ordering, generate_autos
 from repro.data.paper_example import figure1_ordering, figure1_relation
 from repro.index.inverted import InvertedIndex
-from repro.index.snapshot import SnapshotError, load_index, save_index
+from repro.index.snapshot import (
+    FORMAT_NAME,
+    SnapshotError,
+    load_index,
+    payload_digest,
+    save_index,
+)
 
 
 @pytest.fixture
 def built_index(cars):
     return InvertedIndex.build(cars, figure1_ordering())
+
+
+def read_document(path) -> dict:
+    with gzip.open(path, "rb") as handle:
+        return json.loads(handle.read())
+
+
+def write_document(path, document, reseal: bool = True) -> None:
+    """Write a (possibly tampered) document back; ``reseal`` recomputes the
+    digest so the *semantic* validation under test is reached, not the
+    checksum."""
+    if reseal and document.get("version") == 2:
+        document["digest"] = payload_digest(document["payload"])
+    with gzip.open(path, "wb") as handle:
+        handle.write(json.dumps(document).encode())
 
 
 class TestRoundtrip:
@@ -104,55 +125,172 @@ class TestValidation:
     def test_wrong_version(self, built_index, tmp_path):
         path = tmp_path / "cars.idx"
         save_index(built_index, path)
-        with gzip.open(path, "rb") as handle:
-            document = json.loads(handle.read())
+        document = read_document(path)
         document["version"] = 99
-        with gzip.open(path, "wb") as handle:
-            handle.write(json.dumps(document).encode())
+        write_document(path, document)
         with pytest.raises(SnapshotError):
             load_index(path)
 
     def test_missing_field(self, built_index, tmp_path):
         path = tmp_path / "cars.idx"
         save_index(built_index, path)
-        with gzip.open(path, "rb") as handle:
-            document = json.loads(handle.read())
-        del document["deweys"]
-        with gzip.open(path, "wb") as handle:
-            handle.write(json.dumps(document).encode())
+        document = read_document(path)
+        del document["payload"]["deweys"]
+        write_document(path, document)
         with pytest.raises(SnapshotError):
             load_index(path)
 
     def test_corrupt_dewey_depth(self, built_index, tmp_path):
         path = tmp_path / "cars.idx"
         save_index(built_index, path)
-        with gzip.open(path, "rb") as handle:
-            document = json.loads(handle.read())
-        document["deweys"][0][1] = [0, 0]
-        with gzip.open(path, "wb") as handle:
-            handle.write(json.dumps(document).encode())
+        document = read_document(path)
+        document["payload"]["deweys"][0][1] = [0, 0]
+        write_document(path, document)
         with pytest.raises(SnapshotError):
             load_index(path)
 
     def test_duplicate_dewey(self, built_index, tmp_path):
         path = tmp_path / "cars.idx"
         save_index(built_index, path)
-        with gzip.open(path, "rb") as handle:
-            document = json.loads(handle.read())
-        document["deweys"][1][1] = document["deweys"][0][1]
-        with gzip.open(path, "wb") as handle:
-            handle.write(json.dumps(document).encode())
+        document = read_document(path)
+        document["payload"]["deweys"][1][1] = document["payload"]["deweys"][0][1]
+        write_document(path, document)
         with pytest.raises(SnapshotError):
             load_index(path)
 
     def test_inconsistent_component_mapping(self, built_index, tmp_path):
         path = tmp_path / "cars.idx"
         save_index(built_index, path)
-        with gzip.open(path, "rb") as handle:
-            document = json.loads(handle.read())
+        document = read_document(path)
         # Two Hondas with different top-level components.
-        document["deweys"][0][1][0] = 5
+        document["payload"]["deweys"][0][1][0] = 5
+        write_document(path, document)
+        with pytest.raises(SnapshotError):
+            load_index(path)
+
+    def test_digest_mismatch_rejected(self, built_index, tmp_path):
+        """Any payload tampering without resealing fails the checksum."""
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        document = read_document(path)
+        document["payload"]["rows"][0][1][0] = "Hacked"
+        write_document(path, document, reseal=False)
+        with pytest.raises(SnapshotError, match="digest mismatch"):
+            load_index(path)
+
+    def test_truncated_row_table_rejected(self, built_index, tmp_path):
+        """Regression: a document whose row table was silently truncated
+        (declared count disagrees with rows present) must not load short."""
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        document = read_document(path)
+        document["payload"]["rows"] = document["payload"]["rows"][:-3]
+        write_document(path, document)  # digest resealed: count check must fire
+        with pytest.raises(SnapshotError, match="row count mismatch"):
+            load_index(path)
+
+    def test_live_count_mismatch_rejected(self, built_index, tmp_path):
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        document = read_document(path)
+        document["payload"]["live_rows"] -= 2
+        write_document(path, document)
+        with pytest.raises(SnapshotError, match="live rows"):
+            load_index(path)
+
+    def test_malformed_structures_wrapped(self, built_index, tmp_path):
+        """Decode failures inside a well-formed envelope surface as
+        SnapshotError naming the path, never raw KeyError/TypeError."""
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        document = read_document(path)
+        document["payload"]["schema"] = [["Make"]]  # missing the kind
+        write_document(path, document)
+        with pytest.raises(SnapshotError, match=str(path)):
+            load_index(path)
+
+    def test_bad_attribute_kind_wrapped(self, built_index, tmp_path):
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        document = read_document(path)
+        document["payload"]["schema"][0][1] = "no-such-kind"
+        write_document(path, document)
+        with pytest.raises(SnapshotError, match=str(path)):
+            load_index(path)
+
+
+class TestLegacyV1:
+    def _v1_document(self, index) -> dict:
+        relation = index.relation
+        return {
+            "format": FORMAT_NAME,
+            "version": 1,
+            "name": relation.name,
+            "backend": index.backend,
+            "ordering": list(index.ordering.attributes),
+            "schema": [[a.name, a.kind.value] for a in relation.schema],
+            "rows": [list(row) for row in relation],
+            "deleted": relation.deleted_rids(),
+            "deweys": [
+                [rid, list(index.dewey.dewey_of(rid))]
+                for rid in sorted(index.dewey.iter_rids())
+            ],
+        }
+
+    def test_v1_snapshot_still_loads(self, built_index, tmp_path):
+        path = tmp_path / "legacy.idx"
+        with gzip.open(path, "wb") as handle:
+            handle.write(json.dumps(self._v1_document(built_index)).encode())
+        restored = load_index(path)
+        assert restored.dewey.all_deweys() == built_index.dewey.all_deweys()
+        assert restored.epoch == 0
+
+    def test_v1_truncated_rows_rejected(self, built_index, tmp_path):
+        document = self._v1_document(built_index)
+        document["rows"] = document["rows"][:-2]  # silently chopped file
+        path = tmp_path / "legacy.idx"
         with gzip.open(path, "wb") as handle:
             handle.write(json.dumps(document).encode())
         with pytest.raises(SnapshotError):
             load_index(path)
+
+
+class TestRestoredMutation:
+    def test_new_value_never_reuses_forgotten_sibling(self, tmp_path):
+        """Regression: restore after a delete leaves a gap in the sibling
+        dictionary; a brand-new value must take a fresh component, not the
+        forgotten one (which would collide live Dewey IDs)."""
+        relation = figure1_relation()
+        engine = DiversityEngine.from_relation(relation, figure1_ordering())
+        # Tombstone every Honda so the 'Honda' level-1 component is absent
+        # from the persisted assignment.
+        position = relation.schema.position("Make")
+        honda_rids = [
+            rid for rid, row in relation.iter_live() if row[position] == "Honda"
+        ]
+        for rid in honda_rids:
+            engine.delete(rid)
+        path = tmp_path / "gap.idx"
+        save_index(engine.index, path)
+        restored = load_index(path)
+        rid = restored.relation.insert(("Acura", "TSX", "Silver", 2008, "new"))
+        dewey = restored.insert(rid)
+        # The new make's component must not equal any other make's.
+        components = {
+            restored.dewey.dewey_of(other)[0]
+            for other in restored.dewey.iter_rids()
+            if other != rid
+        }
+        assert dewey == restored.dewey.dewey_of(rid)
+        assert dewey[0] not in components
+
+    def test_epoch_survives_roundtrip(self, built_index, tmp_path):
+        relation = built_index.relation
+        rid = relation.insert(("Tesla", "ModelS", "Red", 2008, "rare"))
+        built_index.insert(rid)
+        built_index.remove(rid)
+        relation.delete(rid)
+        assert built_index.epoch == 2
+        path = tmp_path / "cars.idx"
+        save_index(built_index, path)
+        assert load_index(path).epoch == 2
