@@ -19,6 +19,10 @@ Examples::
 
     # No data handy? Explore the paper's Figure 1 example.
     python -m repro demo
+
+    # Drive a generated workload and export the metrics registry
+    # (add --check to fail when a paper access-bound was violated).
+    python -m repro metrics cars.idx --shards 3 --check --out metrics.json
 """
 
 from __future__ import annotations
@@ -132,6 +136,44 @@ def main(argv=None) -> int:
     )
     _query_options(recover_cmd)
 
+    metrics_cmd = commands.add_parser(
+        "metrics",
+        help="drive a generated workload and export the metrics registry",
+    )
+    metrics_cmd.add_argument(
+        "index", type=Path, nargs="?", default=None,
+        help="snapshot or durable data directory; omitted = Figure 1 demo",
+    )
+    metrics_cmd.add_argument(
+        "--algorithms",
+        default="probe,onepass",
+        help="comma-separated algorithms the workload drives "
+        "(default: probe,onepass — the two paper access-bound paths)",
+    )
+    metrics_cmd.add_argument(
+        "--repeat", type=int, default=2, metavar="N",
+        help="workload passes (repeats exercise the serving caches)",
+    )
+    metrics_cmd.add_argument(
+        "--limit", type=int, default=8, metavar="N",
+        help="values per attribute in the generated workload",
+    )
+    metrics_cmd.add_argument(
+        "--format", choices=["json", "prometheus"], default="json",
+        help="export format: the repro-metrics JSON snapshot, or the "
+        "Prometheus text exposition",
+    )
+    metrics_cmd.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write the export here instead of stdout",
+    )
+    metrics_cmd.add_argument(
+        "--check", action="store_true",
+        help="exit 5 when a paper access-bound violation counter is nonzero "
+        "(probe 2k bound, one-pass single-scan property)",
+    )
+    _query_options(metrics_cmd)
+
     args = parser.parse_args(argv)
     if args.command == "build":
         return _cmd_build(args)
@@ -141,6 +183,8 @@ def main(argv=None) -> int:
         return _cmd_shell(args)
     if args.command == "recover":
         return _cmd_recover(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     return _cmd_demo(args)
 
 
@@ -158,6 +202,14 @@ def _query_options(parser: argparse.ArgumentParser) -> None:
         action=argparse.BooleanOptionalAction,
         default=True,
         help="serve repeated queries from the plan/result caches",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="after running, write the process metrics registry snapshot "
+        "(repro-metrics JSON) here",
     )
     parser.add_argument(
         "--shards",
@@ -274,9 +326,22 @@ def _make_engine(index, args) -> DiversityEngine:
             engine.inject_chaos(chaos)
     else:
         engine = DiversityEngine(index)
-    if getattr(args, "cache", False):
-        engine.attach_cache(ServingCache())
+    _attach_cache(engine, args)
     return engine
+
+
+def _attach_cache(engine: DiversityEngine, args) -> None:
+    """Attach a serving cache per ``--cache`` and export its counters."""
+    if not getattr(args, "cache", False):
+        return
+    from .observability import get_registry
+    from .serving.engine import register_cache_collector
+
+    engine.attach_cache(ServingCache())
+    collector = register_cache_collector(get_registry(), engine)
+    if collector is not None:
+        # Pin the weakref'd collector to the engine for the process lifetime.
+        engine._metrics_collector = collector
 
 
 def _cmd_build(args) -> int:
@@ -343,8 +408,7 @@ def _recover_engine(data_dir: Path, args) -> DiversityEngine:
         engine = ShardedEngine(
             recovered, workers=getattr(args, "workers", 0), policy=policy
         )
-    if getattr(args, "cache", False):
-        engine.attach_cache(ServingCache())
+    _attach_cache(engine, args)
     return engine
 
 
@@ -394,6 +458,7 @@ def _run_query(engine: DiversityEngine, args, text: str) -> int:
         # Structured failure from the sharded fan-out: deadline exhausted,
         # or shards lost that the scan algorithms cannot answer without.
         print(f"unavailable: {error}", file=sys.stderr)
+        _write_metrics_snapshot(args)
         return 3
     elapsed = (time.perf_counter() - started) * 1000
     print(result.to_table())
@@ -410,6 +475,124 @@ def _run_query(engine: DiversityEngine, args, text: str) -> int:
     if args.stats:
         for key, value in sorted(result.stats.items()):
             print(f"  {key}: {value}")
+    _write_metrics_snapshot(args)
+    return 0
+
+
+def _write_metrics_snapshot(args) -> None:
+    """Honour ``--metrics-out`` (a no-op when the flag is absent)."""
+    path = getattr(args, "metrics_out", None)
+    if path is None:
+        return
+    import json
+
+    from .observability import get_registry
+
+    document = get_registry().snapshot()
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True, default=str) + "\n"
+    )
+
+
+def _workload_queries(engine: DiversityEngine, limit: int) -> list:
+    """A scalar-predicate workload generated from the index vocabulary.
+
+    One equality query per (attribute, value) up to ``limit`` values per
+    attribute, plus one OR and one AND combination per attribute pair —
+    enough shape diversity to exercise union and leapfrog cursors.
+    """
+    from .query.query import Query
+
+    scalars = []
+    for attribute in engine.ordering.attributes:
+        values = engine.index.vocabulary(attribute)[: max(0, limit)]
+        scalars.extend(Query.scalar(attribute, value) for value in values)
+    combos = []
+    for first, second in zip(scalars, scalars[1:]):
+        combos.append(first | second)
+    if len(scalars) >= 2:
+        combos.append(scalars[0] & scalars[1])
+    return scalars + combos
+
+
+def _bound_violations(snapshot: dict) -> float:
+    """Sum of the paper access-bound violation counters in a snapshot."""
+    return sum(
+        counter["value"]
+        for counter in snapshot.get("counters", ())
+        if counter["name"] in (
+            "repro_probe_bound_violations_total",
+            "repro_onepass_scan_violations_total",
+        )
+    )
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from .observability import get_registry
+
+    algorithms = [
+        name.strip() for name in args.algorithms.split(",") if name.strip()
+    ]
+    unknown = [name for name in algorithms if name not in ALGORITHMS]
+    if not algorithms or unknown:
+        print(
+            f"--algorithms must name algorithms from {ALGORITHMS}, "
+            f"got {args.algorithms!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.index is not None:
+        engine = _open_engine(args.index, args)
+    else:
+        engine = _make_engine(
+            InvertedIndex.build(figure1_relation(), figure1_ordering()), args
+        )
+    # Workload generation is control-plane work: read the vocabulary with
+    # chaos disarmed, then re-inject so only the serving path sees faults.
+    if hasattr(engine, "clear_chaos"):
+        engine.clear_chaos()
+    queries = _workload_queries(engine, args.limit)
+    chaos = _chaos_from_args(args)
+    if chaos is not None and hasattr(engine, "inject_chaos"):
+        engine.inject_chaos(chaos)
+    failures = 0
+    for _ in range(max(1, args.repeat)):
+        for parsed in queries:
+            for algorithm in algorithms:
+                try:
+                    engine.search(
+                        parsed, k=args.k, algorithm=algorithm, scored=args.scored
+                    )
+                except ResilienceError:
+                    # Chaos/degradation is part of the point: the workload
+                    # keeps going and the failure lands in the metrics.
+                    failures += 1
+    registry = get_registry()
+    snapshot = registry.snapshot()
+    if args.format == "prometheus":
+        text = registry.render_prometheus()
+    else:
+        text = json.dumps(snapshot, indent=2, sort_keys=True, default=str) + "\n"
+    if args.out is not None:
+        args.out.write_text(text)
+        print(f"wrote {args.out} ({args.format}, "
+              f"{len(queries) * len(algorithms) * max(1, args.repeat)} "
+              f"workload queries, {failures} unavailable)")
+    else:
+        sys.stdout.write(text)
+    if args.check:
+        violations = _bound_violations(snapshot)
+        if violations:
+            print(
+                f"BOUND VIOLATIONS: {violations:g} "
+                "(probe 2k bound / one-pass single-scan)",
+                file=sys.stderr,
+            )
+            return 5
+        print("bounds ok: probe <= 2k+1, one-pass single scan",
+              file=sys.stderr)
     return 0
 
 

@@ -24,6 +24,12 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..index.inverted import InvertedIndex
 from ..index.merged import MergedList
+from ..observability import (
+    MONOTONIC,
+    annotate_query_stats,
+    get_registry,
+    record_query_metrics,
+)
 from ..query.estimate import order_for_leapfrog
 from ..query.parser import parse_query
 from ..query.query import Query
@@ -85,6 +91,7 @@ def run_algorithm(
             deweys = baselines.basic_unscored(merged, k)
     stats["next_calls"] = merged.next_calls
     stats["scored_next_calls"] = merged.scored_next_calls
+    annotate_query_stats(stats, merged, algorithm, scored, k)
     return deweys, scores, stats
 
 
@@ -96,11 +103,17 @@ class DiversityEngine:
     k, algorithm, scored, optimize)`` method).  When attached, repeated
     :meth:`search` calls are answered from the cache; ``insert``/``delete``
     bump the index epoch, which lazily invalidates stale entries.
+
+    ``registry`` (optional) pins the engine's metrics destination; the
+    default (``None``) resolves the process-wide
+    :func:`repro.observability.get_registry` at each query, so swapping
+    the global registry (tests, benchmarks) takes effect immediately.
     """
 
-    def __init__(self, index: InvertedIndex, cache=None):
+    def __init__(self, index: InvertedIndex, cache=None, registry=None):
         self._index = index
         self._cache = cache
+        self._registry = registry
 
     @classmethod
     def from_relation(
@@ -215,8 +228,33 @@ class DiversityEngine:
         ``query`` must be a :class:`Query` (no parsing happens here); no
         normalisation or reordering is applied.
         """
-        deweys, scores, stats = run_algorithm(self._index, query, k, algorithm, scored)
-        return self._package(deweys, scores, stats, k, algorithm, scored)
+        # Per-query latency goes to a plain memoised histogram, not a
+        # span: execute is the per-query hot path, and the full span
+        # machinery (contextvars, record ring, field dicts) costs several
+        # microseconds a query where this is well under one.  Spans
+        # bracket pipeline *stages* (serve.batch, shard.scatter, WAL);
+        # per-query visibility is counters and this histogram.
+        registry = self._registry if self._registry is not None else get_registry()
+        if not registry.enabled:
+            deweys, scores, stats = run_algorithm(
+                self._index, query, k, algorithm, scored
+            )
+            return self._package(deweys, scores, stats, k, algorithm, scored)
+        started = MONOTONIC()
+        deweys, scores, stats = run_algorithm(
+            self._index, query, k, algorithm, scored
+        )
+        result = self._package(deweys, scores, stats, k, algorithm, scored)
+        hist = registry.hot_cache.get(("query_ms", algorithm))
+        if hist is None:
+            hist = registry.histogram(
+                "repro_query_ms",
+                help="End-to-end execute latency per query, by algorithm",
+                algorithm=algorithm,
+            )
+            registry.hot_cache[("query_ms", algorithm)] = hist
+        hist.observe((MONOTONIC() - started) * 1000.0)
+        return result
 
     def _package(
         self,
@@ -228,6 +266,7 @@ class DiversityEngine:
         scored: bool,
     ) -> DiverseResult:
         """Materialise selected Dewey IDs into a sorted :class:`DiverseResult`."""
+        record_query_metrics(self._registry, algorithm, scored, k, stats)
         items = [self._materialise(dewey, scores) for dewey in deweys]
         if scored:
             items.sort(key=lambda item: (-(item.score or 0.0), item.dewey))

@@ -242,8 +242,13 @@ def one_pass_unscored(
         skip_id = tree.get_skip_id(current)
         if skip_id is None:
             break
+        step = successor(current)
         if not use_skips:
-            skip_id = successor(current)
+            skip_id = step
+        elif step is None or skip_id > step:
+            # A branch-sized jump, not a plain step.  getattr tolerates
+            # wrapper views (exclusion, tracing) that predate the counter.
+            merged.skip_jumps = getattr(merged, "skip_jumps", 0) + 1
         current = merged.next(skip_id)
     return tree.results()
 
@@ -270,7 +275,12 @@ def one_pass_scored(merged: MergedList, k: int) -> Dict[DeweyId, float]:
         tree.remove()
         theta = tree.min_score()
         skip_id = tree.get_skip_id(current)
-        step = merged.next_onepass_scored(successor(current), skip_id, theta)
+        start = successor(current)
+        if start is not None and (skip_id is None or skip_id > start):
+            # The tied-score tier is scanned from beyond ``start`` (or not
+            # at all): a Section III-D skip, not a plain step.
+            merged.skip_jumps = getattr(merged, "skip_jumps", 0) + 1
+        step = merged.next_onepass_scored(start, skip_id, theta)
         if step is None:
             break
         current, score = step

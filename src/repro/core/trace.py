@@ -45,6 +45,10 @@ class TracingMergedList:
     def __init__(self, merged: MergedList):
         self._merged = merged
         self.events: List[ProbeEvent] = []
+        # Drivers bump this on the list they were handed (see
+        # repro.observability.probes); give the wrapper its own slot so it
+        # stays a drop-in for the always-on accounting too.
+        self.skip_jumps = 0
 
     # -- delegated surface -------------------------------------------------
     @property
@@ -62,6 +66,14 @@ class TracingMergedList:
     @property
     def scored_next_calls(self) -> int:
         return self._merged.scored_next_calls
+
+    @property
+    def rows_touched(self) -> int:
+        return self._merged.rows_touched
+
+    @property
+    def scan_restarts(self) -> int:
+        return self._merged.scan_restarts
 
     def contains(self, dewey: DeweyId) -> bool:
         return self._merged.contains(dewey)

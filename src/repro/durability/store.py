@@ -34,6 +34,7 @@ from typing import Any, Optional, Set, Union
 
 from ..core.dewey import DeweyId
 from ..index.dewey_index import DeweyAssignmentError
+from ..observability import get_registry, span
 from ..index.inverted import InvertedIndex
 from ..index.snapshot import (
     SnapshotError,
@@ -228,15 +229,19 @@ class DurableIndex:
 
     def snapshot(self) -> None:
         """Write an atomic snapshot, then truncate the now-covered log."""
-        rids = sorted(self._owned) if self._owned is not None else None
-        save_index(self._index, self._snapshot_path, rids=rids,
-                   injector=self._injector)
-        self._wal.truncate()
-        if self._injector is not None and self._injector.reach(
-            "snapshot-post-truncate"
-        ):
-            self._injector.crash()
-        self.snapshots += 1
+        with span("durability.snapshot", epoch=self._index.epoch):
+            rids = sorted(self._owned) if self._owned is not None else None
+            save_index(self._index, self._snapshot_path, rids=rids,
+                       injector=self._injector)
+            self._wal.truncate()
+            if self._injector is not None and self._injector.reach(
+                "snapshot-post-truncate"
+            ):
+                self._injector.crash()
+            self.snapshots += 1
+            get_registry().counter(
+                "repro_snapshots_total", "Index snapshots written"
+            ).inc()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -435,22 +440,23 @@ def recover_store(
     if fsync_every is None:
         fsync_every = int(manifest.get("fsync_every", 1))
     snapshot_path = data_dir / SNAPSHOT_NAME
-    try:
-        payload = read_snapshot(snapshot_path)
-        index = restore_index(payload, label=f"snapshot {snapshot_path}")
-    except SnapshotError as error:
-        raise RecoveryError(data_dir, str(error)) from error
-    wal_path = data_dir / WAL_NAME
-    scan = _scan_wal_for_recovery(wal_path, data_dir)
-    snapshot_epoch = index.epoch
-    replayed, skipped = replay_wal_records(index, scan.records, data_dir)
-    if wal_path.exists():
-        wal, _ = WriteAheadLog.open_for_append(
-            wal_path, fsync_every=fsync_every, injector=injector
-        )
-    else:
-        wal = WriteAheadLog.create(wal_path, fsync_every=fsync_every,
-                                   injector=injector)
+    with span("durability.recover", path=str(data_dir)):
+        try:
+            payload = read_snapshot(snapshot_path)
+            index = restore_index(payload, label=f"snapshot {snapshot_path}")
+        except SnapshotError as error:
+            raise RecoveryError(data_dir, str(error)) from error
+        wal_path = data_dir / WAL_NAME
+        scan = _scan_wal_for_recovery(wal_path, data_dir)
+        snapshot_epoch = index.epoch
+        replayed, skipped = replay_wal_records(index, scan.records, data_dir)
+        if wal_path.exists():
+            wal, _ = WriteAheadLog.open_for_append(
+                wal_path, fsync_every=fsync_every, injector=injector
+            )
+        else:
+            wal = WriteAheadLog.create(wal_path, fsync_every=fsync_every,
+                                       injector=injector)
     report = RecoveryReport(
         path=data_dir,
         snapshot_epoch=snapshot_epoch,
@@ -459,6 +465,15 @@ def recover_store(
         torn_bytes=scan.dropped_bytes,
         final_epoch=index.epoch,
     )
+    registry = get_registry()
+    registry.counter("repro_recoveries_total", "Store recoveries").inc()
+    registry.counter("repro_recovery_replayed_total",
+                     "WAL records replayed during recovery").inc(replayed)
+    registry.counter("repro_recovery_skipped_total",
+                     "Stale WAL records skipped during recovery").inc(skipped)
+    registry.counter("repro_recovery_torn_bytes_total",
+                     "Torn WAL tail bytes dropped during recovery"
+                     ).inc(scan.dropped_bytes)
     return DurableIndex(index, wal, snapshot_path,
                         snapshot_every=snapshot_every, injector=injector,
                         recovery=report)

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Union
 
+from ..observability import MONOTONIC, get_registry
 from .crash import CrashInjector
 from .errors import WALCorruptionError, WALError
 
@@ -131,6 +132,7 @@ class WriteAheadLog:
         "_path", "_handle", "_fsync_every", "_injector",
         "_offset", "_synced", "_pending",
         "appended", "appended_since_truncate", "bytes_appended", "syncs",
+        "_m_appends", "_m_bytes", "_m_syncs", "_m_truncates", "_m_sync_ms",
     )
 
     def __init__(
@@ -149,6 +151,19 @@ class WriteAheadLog:
         self.appended_since_truncate = 0
         self.bytes_appended = 0
         self.syncs = 0
+        # Process-wide instruments, resolved once per log (the append path
+        # is the hot mutation path; a disabled registry hands back no-ops).
+        registry = get_registry()
+        self._m_appends = registry.counter(
+            "repro_wal_appends_total", "WAL records appended")
+        self._m_bytes = registry.counter(
+            "repro_wal_bytes_appended_total", "WAL bytes appended")
+        self._m_syncs = registry.counter(
+            "repro_wal_syncs_total", "WAL fsync batches completed")
+        self._m_truncates = registry.counter(
+            "repro_wal_truncates_total", "WAL truncations (snapshot coverage)")
+        self._m_sync_ms = registry.histogram(
+            "repro_wal_sync_ms", "WAL fsync latency (ms)")
         if _create:
             with open(self._path, "wb") as handle:
                 handle.write(MAGIC)
@@ -250,6 +265,8 @@ class WriteAheadLog:
         self.appended += 1
         self.appended_since_truncate += 1
         self.bytes_appended += len(frame)
+        self._m_appends.inc()
+        self._m_bytes.inc(len(frame))
         if injector is not None and injector.reach("wal-pre-sync"):
             self._die()
         if self._fsync_every and self._pending >= self._fsync_every:
@@ -267,11 +284,14 @@ class WriteAheadLog:
         if self._synced == self._offset:
             self._pending = 0
             return
+        started = MONOTONIC()
         self._handle.flush()
         os.fsync(self._handle.fileno())
         self._synced = self._offset
         self._pending = 0
         self.syncs += 1
+        self._m_syncs.inc()
+        self._m_sync_ms.observe((MONOTONIC() - started) * 1000.0)
 
     def truncate(self) -> None:
         """Drop every record (a snapshot now covers them); keep the magic."""
@@ -284,6 +304,7 @@ class WriteAheadLog:
         self._synced = len(MAGIC)
         self._pending = 0
         self.appended_since_truncate = 0
+        self._m_truncates.inc()
 
     def close(self) -> None:
         """Sync and release the file handle (idempotent)."""

@@ -151,6 +151,12 @@ class MergedList:
         ]
         self.next_calls = 0
         self.scored_next_calls = 0
+        # Always-on access accounting (repro.observability.probes): cheap
+        # integer counters, aggregated once per query — never per probe.
+        self.rows_touched = 0        # probes that landed on a match
+        self.skip_jumps = 0          # one-pass skip-aheads (driver-reported)
+        self.scan_restarts = 0       # LEFT probes issued behind the scan head
+        self._scan_head: Optional[DeweyId] = None
 
     @property
     def query(self) -> Query:
@@ -167,6 +173,10 @@ class MergedList:
     def reset_stats(self) -> None:
         self.next_calls = 0
         self.scored_next_calls = 0
+        self.rows_touched = 0
+        self.skip_jumps = 0
+        self.scan_restarts = 0
+        self._scan_head = None
 
     # ------------------------------------------------------------------
     # Unscored navigation
@@ -174,7 +184,20 @@ class MergedList:
     def next(self, bound: DeweyId, direction: str = LEFT) -> Optional[DeweyId]:
         """The paper's ``mergedList.next(id, dir)``."""
         self.next_calls += 1
-        return self._root.next(bound, direction)
+        if direction == LEFT:
+            # Single-scan accounting: a LEFT probe *behind* the furthest
+            # LEFT probe so far means a posting region is being re-read.
+            # One-pass issues monotonically increasing bounds, so for it
+            # this stays 0 — the runtime form of the single-scan property.
+            head = self._scan_head
+            if head is None or bound > head:
+                self._scan_head = bound
+            elif bound < head:
+                self.scan_restarts += 1
+        result = self._root.next(bound, direction)
+        if result is not None:
+            self.rows_touched += 1
+        return result
 
     def first(self) -> Optional[DeweyId]:
         """The leftmost match (``next(0)`` in the paper)."""

@@ -22,9 +22,19 @@ import time
 from collections import deque
 from typing import Callable, Deque
 
+from ..observability import get_registry
+
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half_open"
+
+
+def _count_transition(to_state: str) -> None:
+    get_registry().counter(
+        "repro_breaker_transitions_total",
+        "Circuit breaker state transitions, by destination state",
+        to=to_state,
+    ).inc()
 
 
 class CircuitBreaker:
@@ -70,6 +80,7 @@ class CircuitBreaker:
             if elapsed_ms >= self._cooldown_ms:
                 self._state = HALF_OPEN
                 self._probing = False
+                _count_transition(HALF_OPEN)
         return self._state
 
     @property
@@ -101,12 +112,22 @@ class CircuitBreaker:
                 self._state = CLOSED
                 self._outcomes.clear()
                 self._probing = False
+                _count_transition(CLOSED)
                 return
             self._outcomes.append(True)
 
     def record_failure(self) -> None:
         with self._lock:
             state = self._state_locked()
+            if state == OPEN:
+                # A stale outcome (the call was admitted before the trip, or
+                # reached the shard through a path that bypassed ``allow``).
+                # Re-tripping here would reset the cooldown and bump
+                # ``opens`` once per caller — a steadily failing shard with
+                # a steady query stream would then stay open forever and
+                # never reach its half-open trial.  Open already presumes
+                # failure; drop the observation.
+                return
             if state == HALF_OPEN:
                 self._trip_locked()
                 return
@@ -122,6 +143,7 @@ class CircuitBreaker:
         self._probing = False
         self._outcomes.clear()
         self.opens += 1
+        _count_transition(OPEN)
 
     def reset(self) -> None:
         """Force-close (administrative reset; counters are kept)."""

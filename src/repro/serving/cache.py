@@ -46,8 +46,11 @@ class CacheStats:
 
     hits: int = 0                   # result-cache hits (fresh epoch)
     misses: int = 0                 # result-cache misses (incl. invalidations)
-    evictions: int = 0              # result entries dropped by LRU pressure
+    evictions: int = 0              # result entries dropped for ANY reason:
+                                    #   LRU pressure or epoch invalidation,
+                                    #   each dropped entry counted exactly once
     epoch_invalidations: int = 0    # stale result entries rejected on lookup
+                                    #   (a subset of both misses and evictions)
     plan_hits: int = 0              # plan served fully from cache
     plan_misses: int = 0            # plan compiled from scratch
     plan_revalidations: int = 0     # plan re-ordered after an epoch bump
@@ -212,12 +215,15 @@ class ResultCache:
 
     def __init__(self, capacity: int = DEFAULT_RESULT_CAPACITY):
         self._lru = _LRU(capacity)
+        self.invalidations = 0  # stale entries discarded on lookup
 
     def __len__(self) -> int:
         return len(self._lru)
 
     @property
     def evictions(self) -> int:
+        """Entries dropped by LRU pressure (invalidation drops are separate:
+        ``invalidations``; each dropped entry lands in exactly one)."""
         return self._lru.evictions
 
     @staticmethod
@@ -233,6 +239,7 @@ class ResultCache:
             return None, False
         if entry.epoch != epoch:
             self._lru.discard(key)
+            self.invalidations += 1
             return None, True
         return entry.result, False
 
@@ -287,7 +294,12 @@ class ServingCache:
             key = self.results.key(plan.canonical, k, algorithm, scored, optimize)
             cached, invalidated = self.results.lookup(key, epoch)
             if invalidated:
+                # A stale entry was just dropped: one miss (below) and one
+                # eviction, both exactly once — _sync_eviction_counters
+                # derives evictions from the result cache's own drop
+                # counters, so no path can double-count the same entry.
                 stats.epoch_invalidations += 1
+                self._sync_eviction_counters()
             if cached is not None:
                 stats.hits += 1
                 return self._serve(cached, hit=True)
@@ -302,8 +314,17 @@ class ServingCache:
             # recovered shard would keep serving the survivor-only answer.
             if engine.epoch == epoch and not result.stats.get("degraded"):
                 self.results.store(key, result, epoch)
-                self.stats.evictions = self.results.evictions
+                self._sync_eviction_counters()
             return self._serve(result, hit=False)
+
+    def _sync_eviction_counters(self) -> None:
+        """Refresh ``stats.evictions`` from the result cache (lock held).
+
+        Every dropped result entry is counted exactly once, whichever way
+        it died: LRU pressure (``results.evictions``) or epoch
+        invalidation (``results.invalidations``).
+        """
+        self.stats.evictions = self.results.evictions + self.results.invalidations
 
     def _serve(self, result: DiverseResult, hit: bool) -> DiverseResult:
         """Wrap a stored/fresh result with the current cache counters.
@@ -321,6 +342,21 @@ class ServingCache:
             scored=result.scored,
             stats=stats,
         )
+
+    def stats_snapshot(self) -> CacheStats:
+        """A consistent copy of the counters, taken under the cache lock.
+
+        Reading ``cache.stats`` field by field while pool threads serve
+        queries can observe a torn set (a hit counted, its lookup not yet);
+        batch reporting and metrics collection snapshot through here.
+        """
+        with self._lock:
+            return self.stats.snapshot()
+
+    def sizes(self) -> Dict[str, int]:
+        """Current entry counts (for gauges): plan and result caches."""
+        with self._lock:
+            return {"plans": len(self.plans), "results": len(self.results)}
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved; they are cumulative)."""

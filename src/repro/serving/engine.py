@@ -11,13 +11,14 @@ mutations bump the index epoch, stale entries die lazily.
 
 from __future__ import annotations
 
-import time
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.engine import DiversityEngine
 from ..core.result import DiverseResult
+from ..observability import MONOTONIC, Clock, get_registry, span
 from ..query.query import Query
 from .cache import CacheStats, ServingCache
 
@@ -56,6 +57,46 @@ class BatchReport:
         return self.cache_stats.get("hits", 0) / lookups
 
 
+def register_cache_collector(registry, serving: "ServingEngine"):
+    """Publish the serving cache's counters/sizes as gauges at export time.
+
+    The collector holds the engine through a weakref: once the engine is
+    garbage-collected the callback unregisters itself, so short-lived
+    engines never pin themselves to the process registry.
+    """
+    if registry is None or not registry.enabled:
+        return None
+    ref = weakref.ref(serving)
+
+    def collect() -> None:
+        engine = ref()
+        if engine is None:
+            registry.unregister_collector(collect)
+            return
+        stats = engine.cache.stats_snapshot()
+        gauge = registry.gauge
+        gauge("repro_cache_hits", "Result-cache hits").set(stats.hits)
+        gauge("repro_cache_misses", "Result-cache misses").set(stats.misses)
+        gauge("repro_cache_evictions",
+              "Entries dropped (LRU pressure + epoch invalidation)"
+              ).set(stats.evictions)
+        gauge("repro_cache_epoch_invalidations",
+              "Entries dropped because the index epoch moved"
+              ).set(stats.epoch_invalidations)
+        gauge("repro_cache_plan_hits", "Plan-cache hits").set(stats.plan_hits)
+        gauge("repro_cache_plan_misses", "Plan-cache misses").set(stats.plan_misses)
+        gauge("repro_cache_plan_revalidations",
+              "Plans re-ordered after an epoch change").set(stats.plan_revalidations)
+        sizes = engine.cache.sizes()
+        gauge("repro_cache_entries", "Live cache entries",
+              kind="plans").set(sizes["plans"])
+        gauge("repro_cache_entries", "Live cache entries",
+              kind="results").set(sizes["results"])
+
+    registry.register_collector(collect)
+    return (registry, collect)
+
+
 def _stats_delta(after: CacheStats, before: CacheStats) -> Dict[str, int]:
     return {
         "hits": after.hits - before.hits,
@@ -83,12 +124,18 @@ class ServingEngine:
         self,
         engine: DiversityEngine,
         cache: Optional[ServingCache] = None,
+        clock: Clock = MONOTONIC,
+        registry=None,
     ):
         self._engine = engine
         self._cache = cache if cache is not None else ServingCache()
+        self._clock = clock
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_size = 0
         engine.attach_cache(self._cache)
+        self._collector = register_cache_collector(
+            registry if registry is not None else get_registry(), self
+        )
 
     @classmethod
     def from_relation(
@@ -103,6 +150,7 @@ class ServingEngine:
         data_dir=None,
         snapshot_every: int = 0,
         fsync_every: int = 1,
+        clock: Clock = MONOTONIC,
         **cache_options,
     ) -> "ServingEngine":
         """Build a serving engine; ``shards > 1`` builds a sharded deployment.
@@ -127,7 +175,7 @@ class ServingEngine:
 
             engine = ShardedEngine.from_relation(
                 relation, ordering, shards=shards, backend=backend,
-                router=router, workers=workers, policy=policy,
+                router=router, workers=workers, policy=policy, clock=clock,
             )
             if data_dir is not None:
                 from ..durability import create_sharded_store
@@ -145,7 +193,8 @@ class ServingEngine:
                     engine.index, data_dir,
                     snapshot_every=snapshot_every, fsync_every=fsync_every,
                 )
-        return cls(engine, ServingCache(**cache_options) if cache_options else None)
+        return cls(engine, ServingCache(**cache_options) if cache_options else None,
+                   clock=clock)
 
     @classmethod
     def recover(
@@ -222,6 +271,14 @@ class ServingEngine:
 
         Durable stores attached to the index (single or per-shard) are
         closed too, syncing and releasing their WAL file handles."""
+        collector, self._collector = self._collector, None
+        if collector is not None:
+            registry, collect = collector
+            # Final flush: materialise the terminal cache stats as gauges,
+            # so a post-close export still sees this engine's lifetime
+            # totals even if nothing exported while it was open.
+            collect()
+            registry.unregister_collector(collect)
         pool, self._pool = self._pool, None
         self._pool_size = 0
         if pool is not None:
@@ -280,36 +337,41 @@ class ServingEngine:
         """
         if threads < 0:
             raise ValueError("threads must be >= 0")
-        before = self._cache.stats.snapshot()
+        # Locked snapshots: field-by-field reads of a cache being mutated by
+        # pool workers would tear, skewing the reported batch delta.
+        before = self._cache.stats_snapshot()
         queries = list(queries)
-        started = time.perf_counter()
-        if threads == 0:
-            results = [
-                self._engine.search(query, k, algorithm=algorithm, scored=scored,
-                                    optimize=optimize)
-                for query in queries
-            ]
-        else:
-            pool = self._ensure_pool(threads)
-            futures = [
-                pool.submit(
-                    self._engine.search, query, k, algorithm=algorithm,
-                    scored=scored, optimize=optimize,
-                )
-                for query in queries
-            ]
-            try:
-                results = [future.result() for future in futures]
-            except BaseException:
-                # One query failed: stop what has not started, wait out what
-                # has, then surface the (typed) error with the pool intact.
-                for future in futures:
-                    future.cancel()
-                for future in futures:
-                    if not future.cancelled():
-                        future.exception()  # drain without re-raising
-                raise
-        total = time.perf_counter() - started
+        with span("serve.batch", queries=len(queries), k=k,
+                  algorithm=algorithm, threads=threads):
+            started = self._clock()
+            if threads == 0:
+                results = [
+                    self._engine.search(query, k, algorithm=algorithm,
+                                        scored=scored, optimize=optimize)
+                    for query in queries
+                ]
+            else:
+                pool = self._ensure_pool(threads)
+                futures = [
+                    pool.submit(
+                        self._engine.search, query, k, algorithm=algorithm,
+                        scored=scored, optimize=optimize,
+                    )
+                    for query in queries
+                ]
+                try:
+                    results = [future.result() for future in futures]
+                except BaseException:
+                    # One query failed: stop what has not started, wait out
+                    # what has, then surface the (typed) error with the pool
+                    # intact.
+                    for future in futures:
+                        future.cancel()
+                    for future in futures:
+                        if not future.cancelled():
+                            future.exception()  # drain without re-raising
+                    raise
+            total = self._clock() - started
         return BatchReport(
             results=results,
             total_seconds=total,
@@ -318,5 +380,5 @@ class ServingEngine:
             algorithm=algorithm,
             scored=scored,
             threads=threads,
-            cache_stats=_stats_delta(self._cache.stats, before),
+            cache_stats=_stats_delta(self._cache.stats_snapshot(), before),
         )

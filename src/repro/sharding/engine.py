@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import random
 import time
+import weakref
 from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -63,6 +64,7 @@ from ..core.ordering import DiversityOrdering
 from ..core.result import DiverseResult
 from ..index.merged import MergedList
 from ..index.postings import ARRAY_BACKEND
+from ..observability import MONOTONIC, Clock, get_registry, span
 from ..query.parser import parse_query
 from ..query.query import Query
 from ..query.rewrite import normalise
@@ -87,6 +89,53 @@ from .sharded_index import ShardedIndex
 #: output is the canonical Definitions 1-2 selection, which the merge
 #: reconstructs exactly); the rest run coordinator-driven.
 GATHER_ALGORITHMS = ("naive", "basic")
+
+
+def _register_health_collector(registry, engine: "ShardedEngine"):
+    """Publish the health board as per-shard gauges at export time.
+
+    Weakref'd like the serving cache collector: a collected engine
+    unhooks itself from the registry on the next export.
+    """
+    if registry is None or not registry.enabled:
+        return None
+    ref = weakref.ref(engine)
+
+    def collect() -> None:
+        target = ref()
+        if target is None:
+            registry.unregister_collector(collect)
+            return
+        gauge = registry.gauge
+        for entry in target.health.snapshot():
+            shard = str(entry["shard_id"])
+            gauge("repro_shard_requests",
+                  "Calls admitted to the shard", shard=shard
+                  ).set(entry["requests"])
+            gauge("repro_shard_successes",
+                  "Successful shard calls", shard=shard
+                  ).set(entry["successes"])
+            gauge("repro_shard_transient_failures",
+                  "Transient shard faults observed", shard=shard
+                  ).set(entry["transient_failures"])
+            gauge("repro_shard_hard_failures",
+                  "Crashes / non-retryable shard errors", shard=shard
+                  ).set(entry["hard_failures"])
+            gauge("repro_shard_retries",
+                  "Re-attempts spent on the shard", shard=shard
+                  ).set(entry["retries"])
+            gauge("repro_shard_skipped_open",
+                  "Calls rejected by an open circuit", shard=shard
+                  ).set(entry["skipped_open"])
+            gauge("repro_shard_deadline_drops",
+                  "Calls abandoned for deadline reasons", shard=shard
+                  ).set(entry["deadline_drops"])
+            gauge("repro_shard_breaker_open",
+                  "1 while the shard's circuit breaker is open", shard=shard
+                  ).set(1.0 if entry["breaker"] == "open" else 0.0)
+
+    registry.register_collector(collect)
+    return (registry, collect)
 
 
 @dataclass
@@ -167,15 +216,25 @@ class ShardedEngine(DiversityEngine):
         cache=None,
         workers: int = 0,
         policy: Optional[ResiliencePolicy] = None,
+        clock: Clock = MONOTONIC,
+        sleep=time.sleep,
+        registry=None,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
-        super().__init__(index, cache=cache)
+        super().__init__(index, cache=cache, registry=registry)
         self._workers = workers
         self._policy = policy if policy is not None else DEFAULT_POLICY
-        self._health = HealthBoard(index.num_shards, self._policy)
+        # One clock drives deadlines, breakers and backoff alike (and one
+        # injectable sleep serves the backoff waits), so a FakeClock fakes
+        # the whole failure path end-to-end — no mixed perf_counter/
+        # monotonic timelines to drift apart.
+        self._clock = clock
+        self._sleep = sleep
+        self._health = HealthBoard(index.num_shards, self._policy, clock=clock)
         self._retry_rng = random.Random(self._policy.seed)
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._collector = _register_health_collector(self._metrics(), self)
 
     @classmethod
     def from_relation(
@@ -188,18 +247,25 @@ class ShardedEngine(DiversityEngine):
         cache=None,
         workers: int = 0,
         policy: Optional[ResiliencePolicy] = None,
+        clock: Clock = MONOTONIC,
+        sleep=time.sleep,
     ) -> "ShardedEngine":
         """Build the sharded index (offline step) and wrap it in an engine."""
         index = ShardedIndex.build(
             relation, ordering, shards=shards, backend=backend, router=router
         )
-        return cls(index, cache=cache, workers=workers, policy=policy)
+        return cls(index, cache=cache, workers=workers, policy=policy,
+                   clock=clock, sleep=sleep)
 
     # ------------------------------------------------------------------
     # Lifecycle (persistent fan-out pool)
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Shut the fan-out thread pool down (idempotent)."""
+        collector, self._collector = self._collector, None
+        if collector is not None:
+            registry, collect = collector
+            registry.unregister_collector(collect)
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
@@ -259,7 +325,21 @@ class ShardedEngine(DiversityEngine):
     # ------------------------------------------------------------------
     # Coordinator-side retry loop (prepare + scan algorithms)
     # ------------------------------------------------------------------
-    def _run_with_retries(self, operation, deadline: Deadline):
+    def _deadline(self) -> Deadline:
+        return Deadline(self._policy.deadline_ms, clock=self._clock)
+
+    def _metrics(self):
+        return self._registry if self._registry is not None else get_registry()
+
+    def _count_retry(self, phase: str) -> None:
+        self._metrics().counter(
+            "repro_retries_total",
+            "Shard-call retries spent on transient faults, by phase",
+            phase=phase,
+        ).inc()
+
+    def _run_with_retries(self, operation, deadline: Deadline,
+                          phase: str = "scan"):
         """Run ``operation()`` retrying transient shard faults per policy.
 
         Returns ``(value, retries_spent)``.  Crashes and exhausted retries
@@ -280,16 +360,24 @@ class ShardedEngine(DiversityEngine):
                     raise ShardUnavailableError(
                         {error.shard_id: "retries exhausted"}, self.num_shards
                     ) from error
-                attempts += 1
-                health.record_retry(error.shard_id)
                 if deadline.expired():
                     raise DeadlineExceededError(
                         policy.deadline_ms or 0.0, deadline.elapsed_ms()
                     ) from error
+                attempts += 1
+                health.record_retry(error.shard_id)
+                self._count_retry(phase)
                 delay_s = policy.backoff_ms(attempts, self._retry_rng) / 1000.0
                 delay_s = min(delay_s, deadline.remaining_ms() / 1000.0)
                 if delay_s > 0.0:
-                    time.sleep(delay_s)
+                    self._sleep(delay_s)
+                if deadline.expired():
+                    # The backoff consumed the rest of the budget: without
+                    # this check the loop would grant one extra attempt
+                    # *after* the deadline fully elapsed (drift).
+                    raise DeadlineExceededError(
+                        policy.deadline_ms or 0.0, deadline.elapsed_ms()
+                    ) from error
             except ShardCrashedError as error:
                 health.record_hard(error.shard_id)
                 raise ShardUnavailableError(
@@ -308,18 +396,37 @@ class ShardedEngine(DiversityEngine):
         *plan* degrades instead of the query: parse + normalise are pure,
         only the statistics-driven reordering is skipped — answers do not
         depend on predicate order, so execution can still proceed (and
-        degrade, or fail fast, on its own terms)."""
-        parent = super()
-        try:
-            plan, _ = self._run_with_retries(
-                lambda: parent.prepare(query, scored, optimize),
-                Deadline(self._policy.deadline_ms),
-            )
-        except ShardUnavailableError:
-            if not optimize:
-                raise
+        degrade, or fail fast, on its own terms).
+
+        A shard whose breaker is already open is presumed down: the plan
+        degrades *immediately*, without touching any shard.  Re-proving the
+        failure here every query would charge the broken shard a fresh
+        hard failure per query on top of the one the execute phase records
+        — double-counting its health stats — and burn retry/backoff time
+        from every caller's budget while the breaker is trying to cool
+        down."""
+        degraded_reason = None
+        if optimize and self._health.open_shards():
+            degraded_reason = "circuit open"
+        else:
+            parent = super()
+            try:
+                plan, _ = self._run_with_retries(
+                    lambda: parent.prepare(query, scored, optimize),
+                    self._deadline(), phase="prepare",
+                )
+            except ShardUnavailableError:
+                if not optimize:
+                    raise
+                degraded_reason = "shard unavailable"
+        if degraded_reason is not None:
+            self._metrics().counter(
+                "repro_plan_degraded_total",
+                "Plans that skipped statistics-driven reordering",
+                reason=degraded_reason,
+            ).inc()
             plan = parse_query(query) if isinstance(query, str) else query
-            if not scored:
+            if optimize and not scored:
                 plan = normalise(plan)
         return plan
 
@@ -361,8 +468,12 @@ class ShardedEngine(DiversityEngine):
             raise ShardUnavailableError(
                 {shard: "circuit open" for shard in open_shards}, self.num_shards
             )
-        reader = _RetryingReads(self, Deadline(self._policy.deadline_ms))
-        deweys, scores, stats = run_algorithm(reader, query, k, algorithm, scored)
+        with span("shard.scan", registry=self._registry, algorithm=algorithm,
+                  k=k, shards=self.num_shards):
+            reader = _RetryingReads(self, self._deadline())
+            deweys, scores, stats = run_algorithm(
+                reader, query, k, algorithm, scored
+            )
         # A completed scan heard back from the whole deployment: credit the
         # breakers so a recovered shard's circuit can close again.
         for shard in range(self.num_shards):
@@ -411,10 +522,11 @@ class ShardedEngine(DiversityEngine):
                     )
                 attempts += 1
                 health.record_retry(shard_id)
+                self._count_retry("gather")
                 delay_s = policy.backoff_ms(attempts, self._retry_rng) / 1000.0
                 delay_s = min(delay_s, deadline.remaining_ms() / 1000.0)
                 if delay_s > 0.0:
-                    time.sleep(delay_s)
+                    self._sleep(delay_s)
             except ShardCrashedError:
                 health.record_hard(shard_id)
                 return ShardOutcome(shard_id, reason="crashed", retries=attempts)
@@ -435,7 +547,12 @@ class ShardedEngine(DiversityEngine):
         shard, :class:`ShardUnavailableError` when no shard survived for
         any other mix of reasons.
         """
-        deadline = Deadline(self._policy.deadline_ms)
+        with span("shard.scatter", registry=self._registry,
+                  shards=self.num_shards, workers=self._workers):
+            return self._scatter_inner(task)
+
+    def _scatter_inner(self, task) -> List[ShardOutcome]:
+        deadline = self._deadline()
         shards = self._index.shards
         if self._workers > 1 and len(shards) > 1:
             pool = self._ensure_pool()
@@ -538,7 +655,27 @@ class ShardedEngine(DiversityEngine):
         }
 
     def _resilience_stats(self, outcomes: Sequence[ShardOutcome]) -> Dict[str, int]:
+        """Per-query resilience stats for ``result.stats``.
+
+        These count the *execute* fan-out only — one entry per shard per
+        query, so a shard that also faulted during plan preparation is not
+        double-counted here (prepare-phase faults show up in
+        :attr:`health` and the ``repro_retries_total{phase="prepare"}`` /
+        ``repro_plan_degraded_total`` metrics instead).
+        """
         failed = [outcome for outcome in outcomes if not outcome.ok]
+        if failed:
+            registry = self._metrics()
+            registry.counter(
+                "repro_degraded_queries_total",
+                "Scatter-gather queries answered from surviving shards only",
+            ).inc()
+            for outcome in failed:
+                registry.counter(
+                    "repro_shards_failed_total",
+                    "Per-query shard losses in the execute fan-out, by reason",
+                    reason=outcome.reason,
+                ).inc()
         return {
             "degraded": bool(failed),
             "shards_failed": len(failed),
