@@ -28,6 +28,27 @@ def autos_relation():
 
 
 @pytest.fixture(scope="session")
+def backend_index(autos_relation):
+    """Session-shared per-backend index builder over the autos relation.
+
+    The cache key includes the relation identity, so a stale index can
+    never leak across a differently parametrized relation — the bug the
+    old module-level ``_CACHE`` in bench_ablation_backend had.
+    """
+    cache = {}
+
+    def build(backend: str):
+        key = (id(autos_relation), backend)
+        if key not in cache:
+            cache[key] = InvertedIndex.build(
+                autos_relation, autos_ordering(), backend=backend
+            )
+        return cache[key]
+
+    return build
+
+
+@pytest.fixture(scope="session")
 def autos_index(autos_relation):
     return InvertedIndex.build(autos_relation, autos_ordering())
 

@@ -65,7 +65,7 @@ def main(argv=None) -> int:
     )
     build.add_argument("--out", type=Path, default=None, help="snapshot path")
     build.add_argument(
-        "--backend", choices=["array", "bptree"], default="array"
+        "--backend", choices=["array", "bptree", "compressed"], default="array"
     )
     durability = build.add_argument_group(
         "durability",
@@ -332,6 +332,7 @@ def _make_engine(index, args) -> DiversityEngine:
 
 def _attach_cache(engine: DiversityEngine, args) -> None:
     """Attach a serving cache per ``--cache`` and export its counters."""
+    _attach_postings_metrics(engine)
     if not getattr(args, "cache", False):
         return
     from .observability import get_registry
@@ -342,6 +343,18 @@ def _attach_cache(engine: DiversityEngine, args) -> None:
     if collector is not None:
         # Pin the weakref'd collector to the engine for the process lifetime.
         engine._metrics_collector = collector
+
+
+def _attach_postings_metrics(engine: DiversityEngine) -> None:
+    """Export posting-list memory gauges for the engine's index."""
+    from .observability import get_registry, register_postings_collector
+
+    index = engine.index
+    if not hasattr(index, "memory_stats"):
+        return
+    collector = register_postings_collector(get_registry(), index)
+    if collector is not None:
+        engine._postings_collector = collector
 
 
 def _cmd_build(args) -> int:

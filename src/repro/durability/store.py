@@ -93,6 +93,7 @@ class DurableIndex:
     __slots__ = (
         "_index", "_wal", "_snapshot_path", "_snapshot_every",
         "_injector", "_owned", "snapshots", "recovery",
+        "__weakref__",  # metrics collectors hold the index weakly
     )
 
     def __init__(
@@ -182,6 +183,9 @@ class DurableIndex:
 
     def vocabulary(self, attribute: str) -> list:
         return self._index.vocabulary(attribute)
+
+    def memory_stats(self) -> dict:
+        return self._index.memory_stats()
 
     # ------------------------------------------------------------------
     # Durable mutations

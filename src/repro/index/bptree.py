@@ -144,6 +144,28 @@ class BPlusTree:
             levels += 1
         return levels
 
+    def memory_bytes(self) -> int:
+        """Resident bytes of the tree structure and its key objects.
+
+        Counts every node object, its key/value/children lists, and the key
+        payloads (value payloads are shared or ``None`` in posting-list use,
+        so only a pointer slot is charged for them).
+        """
+        import sys
+
+        total = sys.getsizeof(self)
+        stack: list[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            total += sys.getsizeof(node) + sys.getsizeof(node.keys)
+            total += sum(sys.getsizeof(key) for key in node.keys)
+            if isinstance(node, _Internal):
+                total += sys.getsizeof(node.children)
+                stack.extend(node.children)
+            else:
+                total += sys.getsizeof(node.values)
+        return total
+
     # ------------------------------------------------------------------
     # Point operations
     # ------------------------------------------------------------------

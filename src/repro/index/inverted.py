@@ -41,6 +41,7 @@ class InvertedIndex:
         "_all",
         "_text_attributes",
         "_epoch",
+        "__weakref__",  # metrics collectors hold the index weakly
     )
 
     def __init__(
@@ -61,7 +62,7 @@ class InvertedIndex:
         self._dewey = dewey if dewey is not None else DeweyIndex(relation, ordering)
         self._scalar: dict[tuple[str, Any], PostingList] = {}
         self._token: dict[tuple[str, str], PostingList] = {}
-        self._all: PostingList = make_posting_list((), backend)
+        self._all: PostingList = make_posting_list((), backend, depth=ordering.depth)
         self._text_attributes = tuple(
             attribute.name
             for attribute in relation.schema
@@ -106,15 +107,16 @@ class InvertedIndex:
                 for token in token_set(text):
                     token_acc.setdefault((name, token), []).append(dewey_id)
         # The accumulators were filled in Dewey order, so lists are sorted.
+        depth = ordering.depth
         index._scalar = {
-            key: make_posting_list(postings, backend)
+            key: make_posting_list(postings, backend, depth=depth)
             for key, postings in scalar_acc.items()
         }
         index._token = {
-            key: make_posting_list(postings, backend)
+            key: make_posting_list(postings, backend, depth=depth)
             for key, postings in token_acc.items()
         }
-        index._all = make_posting_list(everything, backend)
+        index._all = make_posting_list(everything, backend, depth=depth)
         return index
 
     # ------------------------------------------------------------------
@@ -183,6 +185,34 @@ class InvertedIndex:
         """Distinct indexed values of ``attribute`` (arbitrary order)."""
         return [value for (name, value) in self._scalar if name == attribute]
 
+    def posting_lists(self) -> Iterable[PostingList]:
+        """Every posting list in the index (the full-document list, every
+        scalar-value list, every token list)."""
+        yield self._all
+        yield from self._scalar.values()
+        yield from self._token.values()
+
+    def memory_stats(self) -> dict:
+        """Aggregate resident-memory accounting over all posting lists.
+
+        Postings are counted with multiplicity (a row appears once per
+        list containing it), matching what the buffers actually store.
+        """
+        lists = 0
+        postings = 0
+        total_bytes = 0
+        for posting_list in self.posting_lists():
+            lists += 1
+            postings += len(posting_list)
+            total_bytes += posting_list.memory_bytes()
+        return {
+            "backend": self._backend,
+            "lists": lists,
+            "postings": postings,
+            "bytes": total_bytes,
+            "bytes_per_posting": (total_bytes / postings) if postings else 0.0,
+        }
+
     # ------------------------------------------------------------------
     # Restore hooks (snapshot load / WAL replay)
     # ------------------------------------------------------------------
@@ -198,6 +228,31 @@ class InvertedIndex:
                 f"cannot move epoch backwards ({self._epoch} -> {epoch})"
             )
         self._epoch = epoch
+
+    def restore_posting_lists(
+        self,
+        all_postings: PostingList,
+        scalar: dict,
+        token: dict,
+    ) -> None:
+        """Adopt fully-built posting lists (snapshot packed fast path).
+
+        Snapshots of the compressed backend persist the delta-encoded
+        buffers directly; restore decodes each buffer once and hands the
+        finished lists here, skipping the per-row
+        :meth:`index_restored_row` loop entirely.  The Dewey assignment
+        must already be restored — the adopted lists are cross-checked
+        against it.
+        """
+        expected = len(self._dewey)
+        if len(all_postings) != expected:
+            raise ValueError(
+                f"adopted posting lists cover {len(all_postings)} rows, "
+                f"Dewey index has {expected}"
+            )
+        self._all = all_postings
+        self._scalar = dict(scalar)
+        self._token = dict(token)
 
     def index_restored_row(self, rid: int) -> DeweyId:
         """Add one restored row to the posting lists.
@@ -215,7 +270,9 @@ class InvertedIndex:
             key = (name, value)
             postings = self._scalar.get(key)
             if postings is None:
-                postings = make_posting_list((), self._backend)
+                postings = make_posting_list(
+                    (), self._backend, depth=self._ordering.depth
+                )
                 self._scalar[key] = postings
             postings.insert(dewey)
         for name in self._text_attributes:
@@ -223,7 +280,9 @@ class InvertedIndex:
                 key = (name, token)
                 postings = self._token.get(key)
                 if postings is None:
-                    postings = make_posting_list((), self._backend)
+                    postings = make_posting_list(
+                        (), self._backend, depth=self._ordering.depth
+                    )
                     self._token[key] = postings
                 postings.insert(dewey)
         return dewey

@@ -7,14 +7,17 @@ algorithms only ever touch posting lists through two primitives:
 * ``seek(id)``   — smallest posting >= id  (a LEFT-moving ``next``),
 * ``seek_floor(id)`` — largest posting <= id (a RIGHT-moving ``next``),
 
-which both backends implement in logarithmic time: a packed sorted array
-(binary search) and a B+-tree (the paper's choice, Section I).  The merged
-multi-list navigation lives in :mod:`repro.index.merged`.
+which all backends implement in logarithmic time: a packed sorted array
+(binary search), a B+-tree (the paper's choice, Section I), and a
+delta-compressed flat-buffer layout with galloping search
+(:mod:`repro.index.compressed`).  The merged multi-list navigation lives
+in :mod:`repro.index.merged`.
 """
 
 from __future__ import annotations
 
 import bisect
+import sys
 from typing import Iterable, Iterator, Optional
 
 from ..core.dewey import DeweyId
@@ -22,7 +25,8 @@ from .bptree import BPlusTree
 
 ARRAY_BACKEND = "array"
 BPTREE_BACKEND = "bptree"
-BACKENDS = (ARRAY_BACKEND, BPTREE_BACKEND)
+COMPRESSED_BACKEND = "compressed"
+BACKENDS = (ARRAY_BACKEND, BPTREE_BACKEND, COMPRESSED_BACKEND)
 
 
 class PostingList:
@@ -60,6 +64,10 @@ class PostingList:
 
     def __contains__(self, dewey: DeweyId) -> bool:
         return self.seek(dewey) == dewey
+
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes of this list's postings storage."""
+        raise NotImplementedError
 
 
 class ArrayPostingList(PostingList):
@@ -114,6 +122,13 @@ class ArrayPostingList(PostingList):
     def __iter__(self) -> Iterator[DeweyId]:
         return iter(self._postings)
 
+    def memory_bytes(self) -> int:
+        # The list object (with its pointer slots) plus one tuple per
+        # posting; component ints are mostly shared small-int singletons.
+        return sys.getsizeof(self._postings) + sum(
+            sys.getsizeof(posting) for posting in self._postings
+        )
+
     def __repr__(self) -> str:
         return f"ArrayPostingList({len(self._postings)} postings)"
 
@@ -155,16 +170,31 @@ class BTreePostingList(PostingList):
     def __iter__(self) -> Iterator[DeweyId]:
         return self._tree.keys()
 
+    def memory_bytes(self) -> int:
+        return self._tree.memory_bytes()
+
     def __repr__(self) -> str:
         return f"BTreePostingList({len(self._tree)} postings)"
 
 
 def make_posting_list(
-    postings: Iterable[DeweyId], backend: str = ARRAY_BACKEND
+    postings: Iterable[DeweyId],
+    backend: str = ARRAY_BACKEND,
+    depth: Optional[int] = None,
 ) -> PostingList:
-    """Factory used by the inverted index builder."""
+    """Factory used by the inverted index builder.
+
+    ``depth`` (the diversity ordering's attribute count) is required by the
+    compressed backend when ``postings`` may be empty — packed buffers need
+    a fixed Dewey depth up front; the other backends ignore it.
+    """
     if backend == ARRAY_BACKEND:
         return ArrayPostingList(postings)
     if backend == BPTREE_BACKEND:
         return BTreePostingList(postings)
+    if backend == COMPRESSED_BACKEND:
+        # Imported lazily: repro.index.compressed subclasses PostingList.
+        from .compressed import CompressedPostingList
+
+        return CompressedPostingList(postings, depth=depth)
     raise ValueError(f"unknown posting-list backend {backend!r}")

@@ -36,8 +36,10 @@ from ..core.dewey import DeweyId
 from ..core.ordering import DiversityOrdering
 from ..storage.relation import Relation
 from ..storage.schema import Attribute, AttributeKind, Schema
+from .compressed import CompressedPostingList
 from .dewey_index import DeweyAssignmentError, DeweyIndex
 from .inverted import InvertedIndex
+from .postings import COMPRESSED_BACKEND
 
 FORMAT_NAME = "repro-diversity-index"
 FORMAT_VERSION = 2
@@ -74,7 +76,7 @@ def build_payload(index: InvertedIndex, rids: Optional[Iterable[int]] = None) ->
         (dewey.rid_of(dewey_id), list(dewey_id))
         for dewey_id in index.all_postings()
     )
-    return {
+    payload = {
         "name": relation.name,
         "backend": index.backend,
         "ordering": list(index.ordering.attributes),
@@ -89,6 +91,46 @@ def build_payload(index: InvertedIndex, rids: Optional[Iterable[int]] = None) ->
         "deleted": deleted,
         "deweys": deweys,
         "epoch": index.epoch,
+    }
+    if index.backend == COMPRESSED_BACKEND and not partial:
+        packed = _packed_postings_section(index)
+        if packed is not None:
+            payload["postings"] = packed
+    return payload
+
+
+def _packed_postings_section(index: InvertedIndex) -> Optional[dict]:
+    """Serialise the compressed backend's buffers directly.
+
+    Each list is compacted (folding its tail/tombstones into the canonical
+    delta stream) and dumped as base64 bytes — restore adopts the buffer
+    with one linear decode instead of re-encoding every posting through
+    :meth:`InvertedIndex.index_restored_row`.  Entry order is made
+    deterministic so the payload digest is reproducible.  Returns ``None``
+    when any list is not actually a :class:`CompressedPostingList`
+    (defensive; restore then falls back to the per-row path).
+    """
+    all_list = index.all_postings()
+    if not isinstance(all_list, CompressedPostingList):
+        return None
+    scalar_entries = []
+    for (attribute, value), posting_list in index._scalar.items():
+        if not isinstance(posting_list, CompressedPostingList):
+            return None
+        scalar_entries.append([attribute, value, posting_list.packed_state()])
+    token_entries = []
+    for (attribute, token), posting_list in index._token.items():
+        if not isinstance(posting_list, CompressedPostingList):
+            return None
+        token_entries.append([attribute, token, posting_list.packed_state()])
+    scalar_entries.sort(
+        key=lambda entry: (entry[0], json.dumps(entry[1], sort_keys=True))
+    )
+    token_entries.sort(key=lambda entry: (entry[0], entry[1]))
+    return {
+        "all": all_list.packed_state(),
+        "scalar": scalar_entries,
+        "token": token_entries,
     }
 
 
@@ -328,10 +370,63 @@ def restore_index(payload: dict, label: str = "snapshot") -> InvertedIndex:
     dewey = restore_dewey(relation, ordering, assignments)
     index = InvertedIndex(relation, ordering, backend=payload["backend"],
                           dewey=dewey)
-    for rid in sorted(assignments):
-        index.index_restored_row(rid)
+    packed = payload.get("postings")
+    if packed is not None and payload["backend"] == COMPRESSED_BACKEND:
+        _adopt_packed_postings(index, packed, set(assignments.values()), label)
+    else:
+        for rid in sorted(assignments):
+            index.index_restored_row(rid)
     index.restore_epoch(int(payload.get("epoch", 0)))
     return index
+
+
+def _adopt_packed_postings(
+    index: InvertedIndex,
+    packed: dict,
+    expected_deweys: set,
+    label: str,
+) -> None:
+    """Restore compressed posting lists straight from their buffers.
+
+    The packed section travels inside the digest-protected payload, but the
+    buffers must still agree with the Dewey table they were saved beside —
+    a writer bug that diverges them would otherwise restore an index whose
+    posting lists disagree with its Dewey assignment.
+    """
+    try:
+        all_list = CompressedPostingList.from_packed_state(packed["all"])
+        scalar = {
+            (attribute, value): CompressedPostingList.from_packed_state(state)
+            for attribute, value, state in packed["scalar"]
+        }
+        token = {
+            (attribute, token_text): CompressedPostingList.from_packed_state(state)
+            for attribute, token_text, state in packed["token"]
+        }
+    except (KeyError, TypeError, ValueError) as error:
+        raise SnapshotError(
+            f"{label} has a malformed packed-postings section: {error}"
+        ) from None
+    if set(all_list) != expected_deweys:
+        raise SnapshotError(
+            f"{label} packed postings disagree with the Dewey table "
+            f"({len(all_list)} packed vs {len(expected_deweys)} assigned)"
+        )
+    for (attribute, value), posting_list in scalar.items():
+        stray = set(posting_list) - expected_deweys
+        if stray:
+            raise SnapshotError(
+                f"{label} packed postings for {attribute}={value!r} contain "
+                f"{len(stray)} Dewey IDs absent from the Dewey table"
+            )
+    for (attribute, token_text), posting_list in token.items():
+        stray = set(posting_list) - expected_deweys
+        if stray:
+            raise SnapshotError(
+                f"{label} packed postings for {attribute}:{token_text!r} "
+                f"contain {len(stray)} Dewey IDs absent from the Dewey table"
+            )
+    index.restore_posting_lists(all_list, scalar, token)
 
 
 def load_index(source: Union[str, Path]) -> InvertedIndex:

@@ -29,6 +29,7 @@ from .metrics import (
     set_registry,
     use_registry,
 )
+from .postings import register_postings_collector
 from .probes import annotate_query_stats, probe_bound, record_query_metrics
 from .spans import SpanRecord, current_span, span
 
@@ -45,6 +46,7 @@ __all__ = [
     "set_registry",
     "use_registry",
     "annotate_query_stats",
+    "register_postings_collector",
     "probe_bound",
     "record_query_metrics",
     "SpanRecord",

@@ -201,6 +201,9 @@ class FaultyShard:
     def __len__(self) -> int:
         return len(self._inner)
 
+    def memory_stats(self) -> dict:
+        return self._inner.memory_stats()
+
     def __repr__(self) -> str:
         return f"FaultyShard({self.shard_id}, {self._inner!r})"
 

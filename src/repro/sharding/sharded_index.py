@@ -92,6 +92,9 @@ class UnionPostingView(PostingList):
     def __iter__(self) -> Iterator[DeweyId]:
         return heapq.merge(*self._parts)
 
+    def memory_bytes(self) -> int:
+        return sum(part.memory_bytes() for part in self._parts)
+
     def __repr__(self) -> str:
         return f"UnionPostingView({len(self._parts)} parts, {len(self)} postings)"
 
@@ -107,6 +110,7 @@ class ShardedIndex:
         "_router",
         "_shards",
         "_route_position",
+        "__weakref__",  # metrics collectors hold the index weakly
     )
 
     def __init__(
@@ -243,6 +247,24 @@ class ShardedIndex:
     @property
     def router(self) -> ShardRouter:
         return self._router
+
+    def memory_stats(self) -> dict:
+        """Deployment-wide posting-list memory accounting (sum of shards)."""
+        lists = 0
+        postings = 0
+        total_bytes = 0
+        for shard in self._shards:
+            stats = shard.memory_stats()
+            lists += stats["lists"]
+            postings += stats["postings"]
+            total_bytes += stats["bytes"]
+        return {
+            "backend": self._backend,
+            "lists": lists,
+            "postings": postings,
+            "bytes": total_bytes,
+            "bytes_per_posting": (total_bytes / postings) if postings else 0.0,
+        }
 
     def shard_of(self, rid: int) -> int:
         """The shard number owning row ``rid`` (routes on its level-1 value)."""

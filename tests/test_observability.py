@@ -435,6 +435,82 @@ class TestCacheAccounting:
 
 
 # ----------------------------------------------------------------------
+# Posting-list memory gauges (compressed-backend tentpole)
+# ----------------------------------------------------------------------
+class TestPostingsCollector:
+    def _build(self, cars, backend):
+        from repro.index.inverted import InvertedIndex
+
+        return InvertedIndex.build(cars, figure1_ordering(), backend=backend)
+
+    def test_gauges_in_snapshot_and_prometheus(self, cars):
+        from repro.observability import register_postings_collector
+
+        with use_registry() as registry:
+            index = self._build(cars, "compressed")
+            pinned = register_postings_collector(registry, index)
+            assert pinned is not None
+            stats = index.memory_stats()
+            label = (("backend", "compressed"),)
+            gauges = {
+                (g["name"], tuple(sorted(g["labels"].items()))): g["value"]
+                for g in registry.snapshot()["gauges"]
+            }
+            assert gauges[("repro_postings_bytes", label)] == stats["bytes"]
+            assert gauges[("repro_postings_count", label)] == stats["postings"]
+            assert gauges[("repro_postings_lists", label)] == stats["lists"]
+            text = registry.render_prometheus()
+            assert 'repro_postings_bytes{backend="compressed"}' in text
+            assert "# TYPE repro_postings_bytes gauge" in text
+
+    def test_gauges_track_mutations(self, cars):
+        from repro.observability import register_postings_collector
+
+        with use_registry() as registry:
+            index = self._build(cars, "array")
+            register_postings_collector(registry, index)
+            before = registry.snapshot()
+            bytes_before = registry.value("repro_postings_bytes", backend="array")
+            count_before = registry.value("repro_postings_count", backend="array")
+            rid = index.relation.insert(
+                ("Honda", "Civic", "Black", 2009, "loaded clean")
+            )
+            index.insert(rid)
+            registry.snapshot()
+            assert before is not None
+            assert registry.value(
+                "repro_postings_count", backend="array"
+            ) > count_before
+            assert registry.value(
+                "repro_postings_bytes", backend="array"
+            ) > bytes_before
+
+    def test_collector_unhooks_after_index_is_collected(self, cars):
+        import gc
+
+        from repro.observability import register_postings_collector
+
+        with use_registry() as registry:
+            index = self._build(cars, "compressed")
+            register_postings_collector(registry, index)
+            registry.snapshot()
+            del index
+            gc.collect()
+            # Export after collection must not raise and must self-unhook.
+            registry.snapshot()
+            registry.snapshot()
+
+    def test_disabled_registry_returns_none(self, cars):
+        from repro.observability import register_postings_collector
+
+        index = self._build(cars, "array")
+        assert register_postings_collector(
+            MetricsRegistry(enabled=False), index
+        ) is None
+        assert register_postings_collector(None, index) is None
+
+
+# ----------------------------------------------------------------------
 # Satellite: circuit-breaker fixes
 # ----------------------------------------------------------------------
 class TestBreakerFixes:
