@@ -22,7 +22,7 @@ reproduction of the paper's figures.
 
 from .core.dewey import DeweyId, LEFT, MIDDLE, RIGHT
 from .core.diversify import diverse_subset, scored_diverse_subset, waterfill
-from .core.engine import ALGORITHMS, DiversityEngine
+from .core.engine import ALGORITHMS, AUTO, DiversityEngine
 from .core.incremental import DiverseView
 from .core.mmr import mmr_select, retrieve_ck_diverse
 from .core.pagination import DiversePaginator
@@ -45,6 +45,16 @@ from .query.parser import parse_query
 from .query.predicates import KeywordPredicate, ScalarPredicate
 from .query.query import Query
 from .query.rewrite import normalise, to_query_string
+from .planner import (
+    CostConstants,
+    PlanDecision,
+    PlanFeatures,
+    RegretReport,
+    choose as choose_algorithm,
+    estimate_costs,
+    measure_regret,
+    render_explain,
+)
 from .query.scoring import coarsen_weights, idf_weights, scale_weights
 from .resilience import (
     ChaosPolicy,
@@ -85,6 +95,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AUTO",
     "Attribute",
     "AttributeKind",
     "BPlusTree",
@@ -93,6 +104,7 @@ __all__ = [
     "Catalog",
     "ChaosPolicy",
     "CircuitBreaker",
+    "CostConstants",
     "CrashInjector",
     "DeadlineExceededError",
     "DeweyId",
@@ -110,7 +122,10 @@ __all__ = [
     "LEFT",
     "MIDDLE",
     "MergedList",
+    "PlanDecision",
+    "PlanFeatures",
     "Query",
+    "RegretReport",
     "Relation",
     "ResultItem",
     "RIGHT",
@@ -134,15 +149,18 @@ __all__ = [
     "TracingMergedList",
     "WeightedDiversifier",
     "balance_violations",
+    "choose_algorithm",
     "coarsen_weights",
     "create_sharded_store",
     "create_store",
     "diverse_merge",
     "diverse_subset",
     "estimate_cardinality",
+    "estimate_costs",
     "estimate_selectivity",
     "greedy_symmetric_select",
     "load_index",
+    "measure_regret",
     "mmr_select",
     "normalise",
     "idf_weights",
@@ -156,6 +174,7 @@ __all__ = [
     "recover",
     "relax_query",
     "relaxed_search",
+    "render_explain",
     "retrieve_ck_diverse",
     "save_index",
     "scale_weights",

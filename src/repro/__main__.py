@@ -32,7 +32,7 @@ import sys
 import time
 from pathlib import Path
 
-from .core.engine import ALGORITHMS, DiversityEngine
+from .core.engine import ALGORITHMS, AUTO, DiversityEngine
 from .data.paper_example import figure1_ordering, figure1_relation
 from .index.inverted import InvertedIndex
 from .index.snapshot import load_index, save_index
@@ -136,6 +136,24 @@ def main(argv=None) -> int:
     )
     _query_options(recover_cmd)
 
+    plan_cmd = commands.add_parser(
+        "plan",
+        help="inspect the auto planner: cost model features + breakdown",
+    )
+    plan_cmd.add_argument(
+        "action", choices=["explain"],
+        help="'explain' prints the per-algorithm cost table for one query",
+    )
+    plan_cmd.add_argument(
+        "index", type=Path, nargs="?", default=None,
+        help="snapshot or durable data directory; omitted = Figure 1 demo",
+    )
+    plan_cmd.add_argument(
+        "text", nargs="?", default=None,
+        help="query text (default: \"Make = 'Honda'\")",
+    )
+    _query_options(plan_cmd)
+
     metrics_cmd = commands.add_parser(
         "metrics",
         help="drive a generated workload and export the metrics registry",
@@ -185,13 +203,17 @@ def main(argv=None) -> int:
         return _cmd_recover(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     return _cmd_demo(args)
 
 
 def _query_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-k", type=int, default=10, help="results to return")
     parser.add_argument(
-        "--algorithm", choices=list(ALGORITHMS), default="probe"
+        "--algorithm", choices=list(ALGORITHMS) + [AUTO], default="probe",
+        help="fixed algorithm, or 'auto' to let the cost model pick "
+        "(see 'python -m repro plan explain')",
     )
     parser.add_argument("--scored", action="store_true", help="scored search")
     parser.add_argument(
@@ -481,8 +503,11 @@ def _run_query(engine: DiversityEngine, args, text: str) -> int:
             f" DEGRADED {result.stats['shards_failed']}/"
             f"{result.stats['shards_total']} shards lost;"
         )
+    label = args.algorithm
+    if args.algorithm == AUTO and result.stats.get("algorithm_selected"):
+        label = f"auto->{result.stats['algorithm_selected']}"
     print(
-        f"[{len(result)} results, {args.algorithm}"
+        f"[{len(result)} results, {label}"
         f"{' scored' if args.scored else ''},{degraded} {elapsed:.2f} ms]"
     )
     if args.stats:
@@ -536,8 +561,47 @@ def _bound_violations(snapshot: dict) -> float:
         if counter["name"] in (
             "repro_probe_bound_violations_total",
             "repro_onepass_scan_violations_total",
+            "repro_plan_bound_violations_total",
         )
     )
+
+
+def _cmd_plan(args) -> int:
+    """``plan explain``: print the auto planner's verdict for one query."""
+    from .planner import estimate_costs, render_explain
+
+    index_arg, text = args.index, args.text
+    if text is None:
+        # Two optional positionals: a single argument that is not an
+        # existing index path is the query text (demo data).
+        if index_arg is not None and not index_arg.exists():
+            index_arg, text = None, str(index_arg)
+        else:
+            text = "Make = 'Honda'"
+    if index_arg is not None:
+        engine = _open_engine(index_arg, args)
+    else:
+        engine = _make_engine(
+            InvertedIndex.build(figure1_relation(), figure1_ordering()), args
+        )
+    try:
+        parsed = parse_query(text)
+    except QueryParseError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return 2
+    try:
+        prepared = engine.prepare(parsed, args.scored)
+        decision = engine.plan(prepared, args.k, args.scored)
+        all_costs = estimate_costs(
+            engine.index, prepared, args.k, args.scored
+        )
+    except ResilienceError as error:
+        print(f"unavailable: {error}", file=sys.stderr)
+        return 3
+    print(f"query: {prepared.describe()}")
+    print(render_explain(decision, all_costs))
+    _write_metrics_snapshot(args)
+    return 0
 
 
 def _cmd_metrics(args) -> int:
@@ -548,10 +612,11 @@ def _cmd_metrics(args) -> int:
     algorithms = [
         name.strip() for name in args.algorithms.split(",") if name.strip()
     ]
-    unknown = [name for name in algorithms if name not in ALGORITHMS]
+    valid = ALGORITHMS + (AUTO,)
+    unknown = [name for name in algorithms if name not in valid]
     if not algorithms or unknown:
         print(
-            f"--algorithms must name algorithms from {ALGORITHMS}, "
+            f"--algorithms must name algorithms from {valid}, "
             f"got {args.algorithms!r}",
             file=sys.stderr,
         )

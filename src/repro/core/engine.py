@@ -44,6 +44,13 @@ from .result import DiverseResult, ResultItem
 
 ALGORITHMS = ("onepass", "probe", "naive", "basic", "multq")
 
+#: The adaptive selector: not a sixth algorithm but a dispatcher — the
+#: planner (:mod:`repro.planner`) prices the diversity-preserving
+#: candidates from index statistics and the engine runs the cheapest.
+#: Kept out of :data:`ALGORITHMS` so code iterating the fixed algorithms
+#: (tests, benchmarks, the metrics CLI's per-algorithm loops) is unchanged.
+AUTO = "auto"
+
 
 def run_algorithm(
     index,
@@ -180,7 +187,9 @@ class DiversityEngine:
     ) -> DiverseResult:
         """Diverse top-k search.
 
-        ``algorithm`` is one of :data:`ALGORITHMS`; ``scored=True`` switches
+        ``algorithm`` is one of :data:`ALGORITHMS`, or :data:`AUTO` to let
+        the cost model pick among the diversity-preserving algorithms
+        (see :meth:`plan`); ``scored=True`` switches
         to the scored variants (tuples ranked by summed leaf weights, with
         diversity among the lowest-score ties).  ``optimize`` runs the
         logical normaliser (unscored only, to keep reported scores
@@ -189,9 +198,10 @@ class DiversityEngine:
         """
         if k < 0:
             raise ValueError("k must be non-negative")
-        if algorithm not in ALGORITHMS:
+        if algorithm not in ALGORITHMS and algorithm != AUTO:
             raise ValueError(
-                f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+                f"unknown algorithm {algorithm!r}; choose from "
+                f"{ALGORITHMS + (AUTO,)}"
             )
         if self._cache is not None:
             return self._cache.search(self, query, k, algorithm, scored, optimize)
@@ -216,18 +226,85 @@ class DiversityEngine:
             query = order_for_leapfrog(query, self._index)
         return query
 
+    def plan(
+        self,
+        query: Union[Query, str],
+        k: int,
+        scored: bool = False,
+        candidates=None,
+    ):
+        """Price the candidate algorithms for one query and pick the cheapest.
+
+        Returns a :class:`~repro.planner.PlanDecision` — the verdict
+        ``algorithm="auto"`` executes, stamped with the index epoch it was
+        computed at (the serving layer's decision cache re-plans when the
+        epoch moves).  ``candidates`` defaults to the diversity-preserving
+        algorithms; pure statistics work, no row is touched.
+        """
+        from ..planner import choose
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        return choose(self._index, query, k, scored, candidates=candidates)
+
+    def _execute_auto(
+        self, query: Query, k: int, scored: bool, decision=None
+    ) -> DiverseResult:
+        """Resolve (or adopt) a plan decision, then run what it picked.
+
+        Dispatch back through ``self.execute`` so subclass execution
+        strategies (the sharded scatter/scan split) apply to the selected
+        algorithm unchanged.
+        """
+        from ..planner import annotate_plan_stats
+
+        if decision is None:
+            decision = self.plan(query, k, scored)
+        result = self.execute(query, k, decision.algorithm, scored)
+        annotate_plan_stats(result.stats, decision)
+        self._record_plan_metrics(decision, result.stats)
+        return result
+
+    def _record_plan_metrics(self, decision, stats: Dict[str, int]) -> None:
+        """Export one auto decision: the choice counter plus the paper-bound
+        cross-check (a selected algorithm violating its own access bound
+        means the plan was priced from a broken premise — must stay 0)."""
+        registry = self._registry if self._registry is not None else get_registry()
+        if not registry.enabled:
+            return
+        registry.counter(
+            "repro_plan_choice_total",
+            help="auto-planned queries, by selected algorithm",
+            algorithm=decision.algorithm,
+            mode="scored" if decision.scored else "unscored",
+        ).inc()
+        if stats.get("probe_bound_exceeded") or stats.get("scan_passes", 1) > 1:
+            registry.counter(
+                "repro_plan_bound_violations_total",
+                help="auto-selected runs that broke their own access bound "
+                     "(Theorem 2 probe bound / one-pass single scan); "
+                     "must stay 0",
+                algorithm=decision.algorithm,
+            ).inc()
+
     def execute(
         self,
         query: Query,
         k: int,
         algorithm: str = "probe",
         scored: bool = False,
+        decision=None,
     ) -> DiverseResult:
         """The run step of :meth:`search`: execute an already-prepared plan.
 
         ``query`` must be a :class:`Query` (no parsing happens here); no
-        normalisation or reordering is applied.
+        normalisation or reordering is applied.  ``algorithm="auto"`` plans
+        first (or adopts ``decision``, a memoised
+        :class:`~repro.planner.PlanDecision` from the serving cache) and
+        runs the selected algorithm.
         """
+        if algorithm == AUTO:
+            return self._execute_auto(query, k, scored, decision)
         # Per-query latency goes to a plain memoised histogram, not a
         # span: execute is the per-query hot path, and the full span
         # machinery (contextvars, record ring, field dicts) costs several

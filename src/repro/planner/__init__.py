@@ -1,0 +1,41 @@
+"""Cost-based algorithm selection (``algorithm="auto"``).
+
+The paper's Figs. 5-8 show the best of naive/onepass/probe flips with
+selectivity, k and scoring; this package prices each algorithm from index
+statistics (:mod:`repro.planner.cost`) and measures the planner against the
+oracle (:mod:`repro.planner.regret`).  The engines integrate it through
+``DiversityEngine.plan`` / ``algorithm="auto"``; the serving layer memoises
+decisions in the plan cache keyed by index epoch + k + scored.
+"""
+
+from .cost import (
+    DEFAULT_CANDIDATES,
+    DEFAULT_CONSTANTS,
+    CostConstants,
+    PlanDecision,
+    PlanFeatures,
+    algorithm_cost,
+    annotate_plan_stats,
+    choose,
+    estimate_costs,
+    extract_features,
+    render_explain,
+)
+from .regret import RegretReport, measure_regret, total_regret
+
+__all__ = [
+    "CostConstants",
+    "DEFAULT_CANDIDATES",
+    "DEFAULT_CONSTANTS",
+    "PlanDecision",
+    "PlanFeatures",
+    "RegretReport",
+    "algorithm_cost",
+    "annotate_plan_stats",
+    "choose",
+    "estimate_costs",
+    "extract_features",
+    "measure_regret",
+    "render_explain",
+    "total_regret",
+]

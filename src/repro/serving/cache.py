@@ -55,6 +55,11 @@ class CacheStats:
     plan_misses: int = 0            # plan compiled from scratch
     plan_revalidations: int = 0     # plan re-ordered after an epoch bump
     plan_evictions: int = 0         # plan entries dropped by LRU pressure
+    decision_hits: int = 0          # auto decision served from cache
+    decision_misses: int = 0        # auto decision computed fresh
+    decision_replans: int = 0       # auto decision recomputed: epoch moved
+                                    #   (the PR 7 invalidation contract:
+                                    #   mutated statistics force a re-plan)
 
     @property
     def lookups(self) -> int:
@@ -76,6 +81,9 @@ class CacheStats:
             "cache_plan_hits": self.plan_hits,
             "cache_plan_misses": self.plan_misses,
             "cache_plan_revalidations": self.plan_revalidations,
+            "cache_decision_hits": self.decision_hits,
+            "cache_decision_misses": self.decision_misses,
+            "cache_decision_replans": self.decision_replans,
         }
 
     def snapshot(self) -> "CacheStats":
@@ -88,6 +96,9 @@ class CacheStats:
             plan_misses=self.plan_misses,
             plan_revalidations=self.plan_revalidations,
             plan_evictions=self.plan_evictions,
+            decision_hits=self.decision_hits,
+            decision_misses=self.decision_misses,
+            decision_replans=self.decision_replans,
         )
 
 
@@ -133,13 +144,18 @@ class _LRU:
 class _PlanEntry:
     """One memoised plan: the epoch-independent base + the ordered form."""
 
-    __slots__ = ("base", "ordered", "canonical", "epoch")
+    __slots__ = ("base", "ordered", "canonical", "epoch", "decisions")
 
     def __init__(self, base: Query, ordered: Query, canonical: str, epoch: int):
         self.base = base            # parsed (+ normalised when applicable)
         self.ordered = ordered      # base after order_for_leapfrog
         self.canonical = canonical  # canonical text of the *base* plan
         self.epoch = epoch          # index epoch the ordering was computed at
+        # ``auto`` decisions for this plan, keyed ``(k, scored)``; each
+        # PlanDecision carries its own epoch stamp, so a decision computed
+        # under older statistics is replaced on its next lookup (mutations
+        # move selectivities, which can flip the cheapest algorithm).
+        self.decisions: Dict[Tuple[int, bool], Any] = {}
 
 
 class PlanCache:
@@ -197,6 +213,27 @@ class PlanCache:
         entry = _PlanEntry(base, ordered, to_query_string(base), epoch)
         self._lru.put(key, entry)
         return entry, "miss"
+
+    def decision(
+        self, engine, entry: _PlanEntry, k: int, scored: bool, epoch: int
+    ) -> Tuple[Any, str]:
+        """The memoised ``auto`` decision for one plan at one ``(k, scored)``.
+
+        Returns ``(decision, outcome)`` where outcome is ``"hit"`` (cached
+        and its epoch still matches), ``"replanned"`` (cached but the index
+        mutated since — statistics may have shifted, so the planner runs
+        again) or ``"miss"`` (first request at this ``(k, scored)``).
+        Decisions degraded by unreachable statistics are never stored: they
+        reflect an outage, not the epoch.
+        """
+        slot = entry.decisions.get((k, scored))
+        if slot is not None and slot.epoch == epoch:
+            return slot, "hit"
+        outcome = "replanned" if slot is not None else "miss"
+        decision = engine.plan(entry.ordered, k, scored)
+        if decision.reason != "stats unavailable":
+            entry.decisions[(k, scored)] = decision
+        return decision, outcome
 
     def clear(self) -> None:
         self._lru.clear()
@@ -305,9 +342,23 @@ class ServingCache:
                 return self._serve(cached, hit=True)
             stats.misses += 1
             ordered = plan.ordered
+            decision = None
+            if algorithm == "auto":
+                # Resolve the memoised decision under the lock (cheap pure
+                # statistics work) so concurrent callers share one plan;
+                # the selected algorithm executes outside the lock below.
+                decision, outcome = self.plans.decision(
+                    engine, plan, k, scored, epoch
+                )
+                if outcome == "hit":
+                    stats.decision_hits += 1
+                elif outcome == "replanned":
+                    stats.decision_replans += 1
+                else:
+                    stats.decision_misses += 1
         # Execute outside the lock: concurrent misses may race, but both
         # compute the same answer for the same epoch, so last-write-wins.
-        result = engine.execute(ordered, k, algorithm, scored)
+        result = engine.execute(ordered, k, algorithm, scored, decision=decision)
         with self._lock:
             # A degraded answer (shards lost mid-query) is correct only for
             # the moment's outage, not for the epoch: never cache it, or a

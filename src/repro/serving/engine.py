@@ -87,6 +87,13 @@ def register_cache_collector(registry, serving: "ServingEngine"):
         gauge("repro_cache_plan_misses", "Plan-cache misses").set(stats.plan_misses)
         gauge("repro_cache_plan_revalidations",
               "Plans re-ordered after an epoch change").set(stats.plan_revalidations)
+        gauge("repro_cache_decision_hits",
+              "auto decisions served from the plan cache").set(stats.decision_hits)
+        gauge("repro_cache_decision_misses",
+              "auto decisions computed fresh").set(stats.decision_misses)
+        gauge("repro_cache_decision_replans",
+              "auto decisions recomputed after an epoch change"
+              ).set(stats.decision_replans)
         sizes = engine.cache.sizes()
         gauge("repro_cache_entries", "Live cache entries",
               kind="plans").set(sizes["plans"])
@@ -106,6 +113,9 @@ def _stats_delta(after: CacheStats, before: CacheStats) -> Dict[str, int]:
         "plan_hits": after.plan_hits - before.plan_hits,
         "plan_misses": after.plan_misses - before.plan_misses,
         "plan_revalidations": after.plan_revalidations - before.plan_revalidations,
+        "decision_hits": after.decision_hits - before.decision_hits,
+        "decision_misses": after.decision_misses - before.decision_misses,
+        "decision_replans": after.decision_replans - before.decision_replans,
     }
 
 

@@ -59,7 +59,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from ..core import baselines
 from ..core.dewey import DeweyId
 from ..core.diversify import diverse_subset, scored_diverse_subset
-from ..core.engine import DiversityEngine, run_algorithm
+from ..core.engine import AUTO, DiversityEngine, run_algorithm
 from ..core.ordering import DiversityOrdering
 from ..core.result import DiverseResult
 from ..index.merged import MergedList
@@ -89,6 +89,33 @@ from .sharded_index import ShardedIndex
 #: output is the canonical Definitions 1-2 selection, which the merge
 #: reconstructs exactly); the rest run coordinator-driven.
 GATHER_ALGORITHMS = ("naive", "basic")
+
+
+class _ZeroStats:
+    """The index read protocol over nothing: every posting list empty.
+
+    The degraded-plan path prices its fallback decision against this
+    instead of touching an unreachable shard — the resulting feature
+    vector is honestly all-zero rather than partially read.
+    """
+
+    depth = 1
+    epoch = 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def scalar_postings(self, attribute: str, value: Any):
+        return ()
+
+    def token_postings(self, attribute: str, token: str):
+        return ()
+
+    def all_postings(self):
+        return ()
+
+
+_EMPTY_STATS = _ZeroStats()
 
 
 def _register_health_collector(registry, engine: "ShardedEngine"):
@@ -433,19 +460,78 @@ class ShardedEngine(DiversityEngine):
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def plan(
+        self,
+        query: Union[Query, str],
+        k: int,
+        scored: bool = False,
+        candidates=None,
+    ):
+        """Plan step of ``algorithm="auto"``, retry-wrapped like
+        :meth:`prepare`: the cost model reads posting statistics through the
+        sharded index's union views, so a flaky shard can fault here too.
+        Transient faults retry; when a shard stays unreachable (or its
+        breaker is already open) the *decision* degrades to ``naive`` — the
+        scatter-gather algorithm that can still answer from surviving
+        shards — instead of failing the query before it even ran.
+
+        Union posting views report global list lengths, so a healthy
+        sharded deployment plans identically to an unsharded engine over
+        the same rows (the differential tests assert this across shard
+        counts)."""
+        from ..planner import PlanDecision, choose, extract_features
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        degraded_reason = None
+        if self._health.open_shards():
+            degraded_reason = "circuit open"
+        else:
+            index = self._index
+            try:
+                decision, _ = self._run_with_retries(
+                    lambda: choose(index, query, k, scored, candidates=candidates),
+                    self._deadline(), phase="plan",
+                )
+                return decision
+            except ShardUnavailableError:
+                degraded_reason = "shard unavailable"
+        self._metrics().counter(
+            "repro_plan_degraded_total",
+            "Plans that skipped statistics-driven reordering",
+            reason=degraded_reason,
+        ).inc()
+        # Stats are unreachable: a zeroed feature vector prices nothing,
+        # so fall back to the degradable gather algorithm outright.
+        features = extract_features(_EMPTY_STATS, query, k, scored)
+        return PlanDecision(
+            algorithm="naive",
+            k=k,
+            scored=scored,
+            epoch=self.epoch,
+            costs={"naive": 0.0},
+            features=features,
+            candidates=("naive",),
+            reason="stats unavailable",
+        )
+
     def execute(
         self,
         query: Query,
         k: int,
         algorithm: str = "probe",
         scored: bool = False,
+        decision=None,
     ) -> DiverseResult:
         """Sharded execution of an already-prepared plan.
 
         Scatter-gather (degradable) for the canonical algorithms,
         coordinator-driven union-cursor scan (all-shards-or-fail) for the
-        scan-order-dependent ones.
+        scan-order-dependent ones; ``auto`` plans first (see :meth:`plan`)
+        and dispatches the selected algorithm through the same split.
         """
+        if algorithm == AUTO:
+            return self._execute_auto(query, k, scored, decision)
         if algorithm == "naive":
             return self._execute_gather_naive(query, k, scored)
         if algorithm == "basic" and not scored:

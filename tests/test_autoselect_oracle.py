@@ -1,0 +1,103 @@
+"""Oracle-regret gate for ``algorithm="auto"``.
+
+Races auto against every fixed diversity-preserving algorithm over the
+standard mixed workload mix (autos match-all, narrow big-k, scored,
+disjunctive auctions, Zipf-repeated — see
+``repro.bench.autoselect.WORKLOAD_MIX``) and asserts the ISSUE's
+acceptance bar: auto's total wall-clock within 1.05x of the best *single*
+fixed algorithm across the whole mix.  The full-scale version of this
+harness is ``benchmarks/bench_autoselect.py``.
+
+The mix is built so no fixed algorithm wins everywhere; the per-workload
+assertions below pin that structure, which is what makes the aggregate
+gate meaningful rather than vacuously satisfied by "always pick probe".
+"""
+
+import math
+
+import pytest
+
+from repro.bench.autoselect import mixed_workloads, race_mix, summarise
+from repro.observability import use_registry
+from repro.planner import DEFAULT_CANDIDATES, total_regret
+
+ROWS = 1500
+QUERIES = 25
+REPEATS = 3
+REGRET_CEILING = 1.05
+
+
+@pytest.fixture(scope="module")
+def raced():
+    """One timed race of the whole mix, shared by every assertion."""
+    workloads = mixed_workloads(rows=ROWS, queries=QUERIES, seed=1)
+    with use_registry() as registry:
+        reports = race_mix(workloads, repeats=REPEATS, registry=registry)
+    return reports, registry
+
+
+class TestOracleRegret:
+    def test_total_regret_within_ceiling(self, raced):
+        reports, _ = raced
+        summary = total_regret(reports)
+        assert summary["best_fixed"] in DEFAULT_CANDIDATES
+        assert summary["regret_ratio"] <= REGRET_CEILING, (
+            f"auto total {summary['auto_seconds']:.4f}s vs best fixed "
+            f"({summary['best_fixed']}) {summary['best_fixed_seconds']:.4f}s "
+            f"-> ratio {summary['regret_ratio']}"
+        )
+
+    def test_mix_has_no_universal_fixed_winner(self, raced):
+        """Sanity of the gate itself: the per-workload oracle is not the
+        same algorithm everywhere, so a constant planner cannot tie auto
+        by construction."""
+        reports, _ = raced
+        oracles = {report.best_fixed for report in reports}
+        assert len(oracles) >= 2, f"degenerate mix, oracle always {oracles}"
+
+    def test_auto_adapts_choices_across_mix(self, raced):
+        reports, _ = raced
+        chosen = set()
+        for report in reports:
+            assert sum(report.choices.values()) == QUERIES
+            chosen.update(report.choices)
+        assert len(chosen) >= 2, f"auto chose {chosen} for every workload"
+        assert chosen <= set(DEFAULT_CANDIDATES)
+
+    def test_per_workload_regret_is_bounded(self, raced):
+        """Per-workload oracles are stricter than the aggregate gate; allow
+        slack for timing noise at this small scale, but auto must never
+        catastrophically lose a single regime (that is the failure mode
+        cost-model bugs produce: e.g. probing a million-row scan regime)."""
+        reports, _ = raced
+        for report in reports:
+            assert report.regret_ratio <= 2.0, (
+                f"{report.name}: auto {report.auto_seconds:.4f}s vs "
+                f"{report.best_fixed} {report.best_fixed_seconds:.4f}s"
+            )
+
+    def test_regret_exported_through_registry(self, raced):
+        reports, registry = raced
+        for report in reports:
+            hist = registry.find("repro_plan_regret_ms", workload=report.name)
+            assert hist is not None
+            assert hist.count == 1
+            assert math.isclose(
+                hist.sum, report.regret_seconds * 1000.0, abs_tol=1e-6
+            )
+        races = sum(
+            counter.value
+            for (name, _), counter in registry._counters.items()
+            if name == "repro_plan_races_total"
+        )
+        assert races == len(reports) * len(DEFAULT_CANDIDATES)
+
+    def test_summary_shape(self, raced):
+        reports, _ = raced
+        summary = summarise(reports)
+        assert len(summary["workloads"]) == len(reports)
+        assert summary["races"] == len(reports) * len(DEFAULT_CANDIDATES)
+        assert 0 <= summary["wins"] <= summary["races"]
+        for entry in summary["workloads"]:
+            assert set(entry["fixed_seconds"]) == set(DEFAULT_CANDIDATES)
+            assert entry["regret_ratio"] > 0

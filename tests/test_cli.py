@@ -136,3 +136,75 @@ class TestDemo:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestAutoAlgorithm:
+    def test_query_with_auto_prints_selection(self, built_snapshot, capsys):
+        code = main([
+            "query", str(built_snapshot), "Make = 'Honda'",
+            "-k", "3", "--algorithm", "auto",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "auto->" in text
+        assert "Honda" in text
+
+    def test_auto_stats_carry_plan_features(self, built_snapshot, capsys):
+        code = main([
+            "query", str(built_snapshot), "Make = 'Honda'",
+            "--algorithm", "auto", "--stats",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "algorithm_selected" in text
+        assert "plan_est_matches" in text
+
+    def test_demo_supports_auto(self, capsys):
+        assert main(["demo", "--algorithm", "auto"]) == 0
+        assert "auto->" in capsys.readouterr().out
+
+
+class TestPlanExplain:
+    def test_explain_demo_default_query(self, capsys):
+        assert main(["plan", "explain"]) == 0
+        text = capsys.readouterr().out
+        assert "query: Make = 'Honda'" in text
+        assert "<- selected" in text
+        assert "costs (seek units, lower wins):" in text
+        assert "excluded: not diversity-preserving" in text
+
+    def test_explain_query_text_positional(self, capsys):
+        assert main(["plan", "explain", "Color = 'Blue'", "-k", "3"]) == 0
+        text = capsys.readouterr().out
+        assert "query: Color = 'Blue'" in text
+        for algorithm in ("onepass", "probe", "naive", "basic", "multq"):
+            assert algorithm in text
+
+    def test_explain_against_snapshot(self, built_snapshot, capsys):
+        code = main([
+            "plan", "explain", str(built_snapshot), "Make = 'Honda'", "-k", "4",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "plan:" in text
+        assert "est matches" in text
+
+    def test_explain_parse_error(self, capsys):
+        assert main(["plan", "explain", "Make = "]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+    def test_explain_sharded(self, capsys):
+        assert main(["plan", "explain", "--shards", "2"]) == 0
+        assert "<- selected" in capsys.readouterr().out
+
+
+class TestMetricsAuto:
+    def test_metrics_accepts_auto_and_checks_bounds(self, capsys):
+        code = main([
+            "metrics", "--limit", "4", "--repeat", "1",
+            "--algorithms", "probe,auto", "--check",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "bounds ok" in captured.err
+        assert "repro_plan_choice_total" in captured.out

@@ -193,3 +193,100 @@ class TestEngineOptimizeFlag:
         optimized = cars_engine.search(text, k=3, algorithm="naive", optimize=True)
         plain = cars_engine.search(text, k=3, algorithm="naive", optimize=False)
         assert optimized.deweys == plain.deweys
+
+
+class TestEstimateInvariants:
+    """Property tests for the invariants the PR 7 cost model prices from.
+
+    ``repro.planner`` assumes the estimator behaves like a measure: leaf
+    estimates are exact, conjunction can only narrow, disjunction can only
+    widen, and everything stays inside [0, |R|].  A violation here would
+    silently skew every auto-selection decision, so these are pinned as
+    properties rather than examples.
+    """
+
+    @staticmethod
+    def _index(rng, max_rows=30):
+        relation = random_relation(rng, max_rows=max_rows)
+        return InvertedIndex.build(relation, DiversityOrdering(RANDOM_ORDERING))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_clamped_and_leaf_exact(self, seed):
+        rng = random.Random(seed)
+        index = self._index(rng)
+        query = random_query(rng)
+        est = estimate_cardinality(query, index)
+        assert 0.0 <= est <= len(index) + 1e-9
+        for leaf in query.leaves():
+            if is_match_all_leaf(leaf):
+                continue
+            assert estimate_cardinality(leaf, index) == pytest.approx(
+                min(leaf_cardinality(leaf, index), len(index))
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_monotone_under_conjunct_narrowing(self, seed):
+        """est(q AND extra) <= est(q): adding a conjunct never widens."""
+        rng = random.Random(seed)
+        index = self._index(rng)
+        query = random_query(rng)
+        extra = random_query(rng)
+        narrowed = Query(AND, children=(query, extra))
+        est = estimate_cardinality(narrowed, index)
+        assert est <= estimate_cardinality(query, index) + 1e-9
+        assert est <= estimate_cardinality(extra, index) + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_monotone_under_disjunct_widening(self, seed):
+        """est(q OR extra) >= est(q): adding a disjunct never narrows."""
+        rng = random.Random(seed)
+        index = self._index(rng)
+        query = random_query(rng)
+        extra = random_query(rng)
+        widened = Query(OR, children=(query, extra))
+        est = estimate_cardinality(widened, index)
+        assert est >= estimate_cardinality(query, index) - 1e-9
+        assert est >= estimate_cardinality(extra, index) - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_conjunction_bounded_by_rarest_leaf(self, seed):
+        """An AND of leaves never estimates above its rarest leaf — the
+        planner's ``rarest_leaf`` feature is a true upper bound there."""
+        rng = random.Random(seed)
+        index = self._index(rng)
+        leaves = [random_query(rng) for _ in range(rng.randint(2, 4))]
+        leaves = [q for q in leaves if q.kind == LEAF] or [Query.match_all()]
+        conj = Query(AND, children=tuple(leaves))
+        rarest = min(leaf_cardinality(leaf, index) for leaf in leaves)
+        assert estimate_cardinality(conj, index) <= rarest + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_estimate_never_below_true_rarest_or_floor(self, seed):
+        """An OR of leaves never estimates below its largest leaf (and so
+        never below the rarest one either)."""
+        rng = random.Random(seed)
+        index = self._index(rng)
+        leaves = [random_query(rng) for _ in range(rng.randint(2, 4))]
+        leaves = [q for q in leaves if q.kind == LEAF] or [Query.match_all()]
+        disj = Query(OR, children=tuple(leaves))
+        largest = max(
+            min(leaf_cardinality(leaf, index), len(index)) for leaf in leaves
+        )
+        assert estimate_cardinality(disj, index) >= largest - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_empty_index_estimates_zero(self, seed):
+        rng = random.Random(seed)
+        relation = random_relation(rng, max_rows=8)
+        for rid, _ in list(relation.iter_live()):
+            relation.delete(rid)
+        index = InvertedIndex.build(relation, DiversityOrdering(RANDOM_ORDERING))
+        query = random_query(rng)
+        assert estimate_cardinality(query, index) == 0.0
+        assert estimate_selectivity(query, index) == 0.0

@@ -248,6 +248,9 @@ class TestCacheStats:
             "cache_plan_hits",
             "cache_plan_misses",
             "cache_plan_revalidations",
+            "cache_decision_hits",
+            "cache_decision_misses",
+            "cache_decision_replans",
         }
 
     def test_clear_keeps_counters(self):
