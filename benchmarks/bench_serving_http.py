@@ -1,0 +1,394 @@
+"""HTTP serving load harness: closed-loop capacity, then open-loop overload.
+
+The acceptance experiment for the serving front-end's robustness story:
+
+* **Phase 1 (closed loop).**  A few client threads issue Zipf-skewed
+  queries back to back; completed/elapsed is the engine's *sustainable*
+  throughput on this hardware.
+* **Phase 2 (open loop).**  Requests arrive on a seeded Poisson schedule
+  at ``overload_factor`` × the sustainable rate (default 2×) with a per-
+  request deadline.  An open-loop driver does not slow down when the
+  server does — exactly the regime where an unprotected queue collapses.
+  The harness records per-request status + latency and splits
+  percentiles by path:
+
+  - **admitted** (200): must keep the deadline SLO — no queue collapse;
+  - **shed** (429/503): must be *fast* — rejection happens at admission,
+    in O(1), long before the deadline.
+
+* Afterwards, ``/metrics?format=json`` is scraped and the paper
+  access-bound violation counters (Theorem 2 probe bound, one-pass
+  single-scan, plan bound) are asserted zero — concurrency must not
+  bend the paper's guarantees.
+
+Determinism: one ``--seed`` drives both the workload generator and the
+arrival schedule, so a CI rerun shreds the same requests at the same
+offsets (modulo wall-clock service-time jitter).
+
+Run directly (``python benchmarks/bench_serving_http.py --out
+BENCH_serving_http.json``) or under pytest for the acceptance gates.
+Scales follow ``REPRO_BENCH_ROWS`` / ``REPRO_BENCH_QUERIES``.
+"""
+
+import argparse
+import gc
+import json
+import platform
+import random
+import sys
+import threading
+import time
+import urllib.parse
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import DiversityEngine
+from repro.bench.harness import env_int
+from repro.data.autos import AutosSpec, autos_ordering, generate_autos
+from repro.data.workload import WorkloadGenerator, WorkloadSpec
+from repro.observability import MetricsRegistry, use_registry
+from repro.query.rewrite import to_query_string
+from repro.server import ServerConfig, ServerThread
+from repro.serving import ServingEngine
+
+DEFAULT_ROWS = 5000
+DEFAULT_DISTINCT = 50
+DEFAULT_ZIPF_S = 1.0
+K = 10
+DEADLINE_MS = 500.0
+CLOSED_LOOP_CLIENTS = 4
+CLOSED_LOOP_SECONDS = 2.0
+OPEN_LOOP_SECONDS = 4.0
+#: Target multiple of the measured sustainable rate.  The schedule aims
+#: above 2x so the *achieved* rate still clears the 2x acceptance bar
+#: when the in-process driver loses a little pacing to GIL contention.
+OVERLOAD_FACTOR = 3.0
+#: Emulated per-query service floor.  The paper-scale index answers a
+#: query in single-digit milliseconds, so an in-process driver would be
+#: measuring socket overhead, not admission control; the floor stands in
+#: for corpus-scale service cost and puts the bottleneck back on the
+#: engine workers, where admission control operates.  The real engine
+#: still executes every admitted query (so the bound-violation counters
+#: are genuinely exercised under concurrency).
+SERVICE_FLOOR_MS = 20.0
+SENDER_POOL = 64
+
+
+class FlooredServing(ServingEngine):
+    """A serving engine with an emulated per-query service-time floor."""
+
+    def __init__(self, relation, floor_ms: float):
+        super().__init__(
+            DiversityEngine.from_relation(relation, autos_ordering()))
+        self._floor_s = floor_ms / 1000.0
+
+    def search(self, query, k, algorithm="probe", scored=False, optimize=True):
+        if self._floor_s > 0.0:
+            time.sleep(self._floor_s)
+        return super().search(query, k, algorithm=algorithm, scored=scored,
+                              optimize=optimize)
+
+
+def percentile(samples, fraction):
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _percentiles(samples):
+    return {
+        "p50_ms": percentile(samples, 0.50),
+        "p95_ms": percentile(samples, 0.95),
+        "p99_ms": percentile(samples, 0.99),
+        "count": len(samples),
+    }
+
+
+def _query_targets(relation, seed, distinct=DEFAULT_DISTINCT,
+                   zipf_s=DEFAULT_ZIPF_S, draws=2000):
+    """Zipf-skewed pool of URL targets, fully determined by ``seed``."""
+    workload = WorkloadGenerator(
+        relation,
+        WorkloadSpec(queries=draws, predicates=2, selectivity=0.5,
+                     distinct=distinct, zipf_s=zipf_s, seed=seed),
+    ).materialise()
+    targets = []
+    for query in workload:
+        text = urllib.parse.quote(to_query_string(query))
+        targets.append(f"/search?q={text}&k={K}")
+    return targets
+
+
+def _get(base_url, target, deadline_ms=None):
+    """One request; returns (status, latency_ms)."""
+    url = base_url + target
+    if deadline_ms is not None:
+        url += f"&deadline_ms={deadline_ms:g}"
+    started = time.perf_counter()
+    try:
+        with urllib.request.urlopen(url, timeout=60.0) as response:
+            response.read()
+            status = response.status
+    except urllib.error.HTTPError as error:
+        error.read()
+        status = error.code
+    return status, (time.perf_counter() - started) * 1000.0
+
+
+def _closed_loop(base_url, targets, seconds, clients=CLOSED_LOOP_CLIENTS):
+    """Back-to-back clients; returns sustainable queries/second."""
+    completed = []
+    stop_at = time.perf_counter() + seconds
+    lock = threading.Lock()
+
+    def client(offset):
+        position = offset
+        while time.perf_counter() < stop_at:
+            status, latency_ms = _get(
+                base_url, targets[position % len(targets)])
+            position += clients
+            with lock:
+                completed.append((status, latency_ms))
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    ok = sum(1 for status, _ in completed if status == 200)
+    return ok / elapsed if elapsed > 0 else 0.0, completed
+
+
+def _open_loop(base_url, targets, qps, seconds, seed,
+               deadline_ms=DEADLINE_MS, pool=SENDER_POOL):
+    """Seeded Poisson arrivals at ``qps``, fired by a fixed sender pool.
+
+    Open-loop semantics: the arrival schedule never slows down because the
+    server did.  A fixed pool (rather than a thread per request) keeps the
+    driver itself cheap; at the rates this harness drives, the pool stays
+    far from saturation because shed requests complete in milliseconds.
+    """
+    import queue as queue_module
+
+    rng = random.Random(seed + 1)  # distinct stream from the workload's
+    schedule = []
+    at = 0.0
+    position = 0
+    while at < seconds:
+        schedule.append((at, targets[position % len(targets)]))
+        at += rng.expovariate(qps)
+        position += 1
+    outcomes = []
+    lock = threading.Lock()
+    work: "queue_module.Queue" = queue_module.Queue()
+
+    def sender():
+        while True:
+            target = work.get()
+            if target is None:
+                return
+            status, latency_ms = _get(base_url, target,
+                                      deadline_ms=deadline_ms)
+            with lock:
+                outcomes.append((status, latency_ms))
+
+    senders = [threading.Thread(target=sender, daemon=True)
+               for _ in range(pool)]
+    for thread in senders:
+        thread.start()
+    started = time.perf_counter()
+    for at, target in schedule:
+        delay = at - (time.perf_counter() - started)
+        if delay > 0:
+            time.sleep(delay)
+        work.put(target)
+    for _ in senders:
+        work.put(None)
+    for thread in senders:
+        thread.join(timeout=120.0)
+    elapsed = time.perf_counter() - started
+    driven_qps = len(schedule) / elapsed if elapsed > 0 else 0.0
+    return outcomes, driven_qps
+
+
+def _bound_violations(snapshot):
+    return sum(
+        counter["value"]
+        for counter in snapshot.get("counters", ())
+        if counter["name"] in (
+            "repro_probe_bound_violations_total",
+            "repro_onepass_scan_violations_total",
+            "repro_plan_bound_violations_total",
+        )
+    )
+
+
+def measure(rows=None, seed=1, overload_factor=OVERLOAD_FACTOR,
+            closed_seconds=CLOSED_LOOP_SECONDS,
+            open_seconds=OPEN_LOOP_SECONDS,
+            service_floor_ms=SERVICE_FLOOR_MS):
+    """The full two-phase experiment; returns a JSON-able dict."""
+    rows = rows if rows is not None else env_int("REPRO_BENCH_ROWS",
+                                                 DEFAULT_ROWS)
+    relation = generate_autos(AutosSpec(rows=rows, seed=42))
+    targets = _query_targets(relation, seed)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        serving = FlooredServing(relation, service_floor_ms)
+        config = ServerConfig(
+            workers=2,
+            queue_depth=32,
+            default_deadline_ms=DEADLINE_MS,
+        )
+        gc.collect()
+        with ServerThread(serving, config, registry=registry) as thread:
+            base_url = thread.base_url
+            sustainable_qps, closed = _closed_loop(
+                base_url, targets, closed_seconds)
+            target_qps = max(1.0, sustainable_qps * overload_factor)
+            gc.collect()
+            outcomes, driven_qps = _open_loop(
+                base_url, targets, target_qps, open_seconds, seed)
+            status, _, body = None, None, None
+            with urllib.request.urlopen(
+                    base_url + "/metrics?format=json") as response:
+                snapshot = json.loads(response.read())
+            admission = thread.server.admission
+            tallies = {
+                "admitted": admission.admitted,
+                "rejected": admission.rejected,
+                "shed": admission.shed,
+                "completed": admission.completed,
+            }
+        serving.close()
+
+    admitted = [ms for status, ms in outcomes if status == 200]
+    shed = [ms for status, ms in outcomes if status in (429, 503)]
+    failed = [status for status, _ in outcomes
+              if status not in (200, 429, 503, 504)]
+    deadline_misses = [status for status, _ in outcomes if status == 504]
+    in_slo = sum(1 for ms in admitted if ms <= DEADLINE_MS)
+    return {
+        "benchmark": "serving_http",
+        "rows": rows,
+        "seed": seed,
+        "k": K,
+        "service_floor_ms": service_floor_ms,
+        "distinct_queries": DEFAULT_DISTINCT,
+        "zipf_s": DEFAULT_ZIPF_S,
+        "deadline_ms": DEADLINE_MS,
+        "python": platform.python_version(),
+        "closed_loop": {
+            "clients": CLOSED_LOOP_CLIENTS,
+            "seconds": closed_seconds,
+            "sustainable_qps": round(sustainable_qps, 2),
+            "latency": _percentiles([ms for s, ms in closed if s == 200]),
+        },
+        "open_loop": {
+            "overload_factor": overload_factor,
+            "target_qps": round(max(1.0, sustainable_qps * overload_factor), 2),
+            "driven_qps": round(driven_qps, 2),
+            "overload_ratio": round(driven_qps / sustainable_qps, 2)
+            if sustainable_qps > 0 else None,
+            "seconds": open_seconds,
+            "requests": len(outcomes),
+            "admitted": _percentiles(admitted),
+            "shed": _percentiles(shed),
+            "deadline_misses_504": len(deadline_misses),
+            "unexpected_statuses": failed,
+            "admitted_slo_attainment": round(in_slo / len(admitted), 4)
+            if admitted else None,
+        },
+        "admission": tallies,
+        "bound_violations": _bound_violations(snapshot),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest acceptance gates (issue 8 overload criteria)
+# ----------------------------------------------------------------------
+try:
+    import pytest
+except ImportError:  # pragma: no cover - direct script runs without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def overload_run():
+        rows = env_int("REPRO_BENCH_ROWS", 2000)
+        return measure(rows=rows, seed=1)
+
+    def test_overload_sheds_and_keeps_slo(overload_run):
+        open_loop = overload_run["open_loop"]
+        # Overload was actually driven well past sustainable capacity...
+        assert open_loop["overload_ratio"] >= 1.5
+        # ...and some requests were shed rather than queued to death.
+        shed = open_loop["shed"]["count"]
+        rejected_total = (overload_run["admission"]["rejected"]
+                          + overload_run["admission"]["shed"])
+        assert shed > 0 or rejected_total > 0
+        # Admitted requests keep their deadline SLO (no queue collapse).
+        slo = open_loop["admitted_slo_attainment"]
+        if open_loop["admitted"]["count"]:
+            assert slo is not None and slo >= 0.9
+        assert open_loop["unexpected_statuses"] == []
+
+    def test_shed_path_is_fast(overload_run):
+        open_loop = overload_run["open_loop"]
+        admitted = open_loop["admitted"]
+        shed = open_loop["shed"]
+        if shed["count"] and admitted["count"]:
+            # Rejections must be decided at admission, far from the
+            # deadline — p99(shed) well under p99(admitted).
+            assert shed["p99_ms"] <= admitted["p99_ms"] * 0.75
+
+    def test_no_bound_violations_under_concurrency(overload_run):
+        assert overload_run["bound_violations"] == 0
+
+    def test_same_seed_same_workload(overload_run):
+        relation = generate_autos(
+            AutosSpec(rows=overload_run["rows"], seed=42))
+        assert _query_targets(relation, seed=1) == _query_targets(
+            relation, seed=1)
+        assert _query_targets(relation, seed=1) != _query_targets(
+            relation, seed=2)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=None,
+                        help="autos rows (default REPRO_BENCH_ROWS or 5000)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="one seed drives workload AND arrival schedule")
+    parser.add_argument("--overload-factor", type=float,
+                        default=OVERLOAD_FACTOR)
+    parser.add_argument("--closed-seconds", type=float,
+                        default=CLOSED_LOOP_SECONDS)
+    parser.add_argument("--open-seconds", type=float,
+                        default=OPEN_LOOP_SECONDS)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON document here")
+    args = parser.parse_args()
+    document = measure(
+        rows=args.rows, seed=args.seed,
+        overload_factor=args.overload_factor,
+        closed_seconds=args.closed_seconds,
+        open_seconds=args.open_seconds,
+    )
+    rendered = json.dumps(document, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out is not None:
+        args.out.write_text(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

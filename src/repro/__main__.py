@@ -154,6 +154,43 @@ def main(argv=None) -> int:
     )
     _query_options(plan_cmd)
 
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="serve diverse queries over HTTP (stdlib asyncio front-end)",
+    )
+    serve_cmd.add_argument(
+        "index", type=Path, nargs="?", default=None,
+        help="snapshot or durable data directory; omitted = Figure 1 demo",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port to bind (0 = pick a free port)",
+    )
+    serve_cmd.add_argument(
+        "--server-workers", type=int, default=1, metavar="N",
+        help="engine executor threads behind the admission queue",
+    )
+    serve_cmd.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="admission queue bound (requests beyond it are shed)",
+    )
+    serve_cmd.add_argument(
+        "--default-deadline-ms", type=float, default=1000.0, metavar="MS",
+        help="deadline for requests that do not set one "
+        "(param deadline_ms or header X-Repro-Deadline-Ms)",
+    )
+    serve_cmd.add_argument(
+        "--quota-rate", type=float, default=0.0, metavar="QPS",
+        help="per-tenant token refill rate (X-Repro-Tenant header; "
+        "0 disables quotas)",
+    )
+    serve_cmd.add_argument(
+        "--quota-burst", type=float, default=10.0, metavar="N",
+        help="per-tenant token bucket capacity",
+    )
+    _query_options(serve_cmd)
+
     metrics_cmd = commands.add_parser(
         "metrics",
         help="drive a generated workload and export the metrics registry",
@@ -205,6 +242,8 @@ def main(argv=None) -> int:
         return _cmd_metrics(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_demo(args)
 
 
@@ -515,6 +554,42 @@ def _run_query(engine: DiversityEngine, args, text: str) -> int:
             print(f"  {key}: {value}")
     _write_metrics_snapshot(args)
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the HTTP front-end until SIGTERM/SIGINT, then drain."""
+    from .server import ServerConfig, run_server
+    from .serving.engine import ServingEngine
+
+    # The serving wrapper owns caching on this path: skip the CLI-attached
+    # cache so there is exactly one ServingCache in front of the engine.
+    args.cache = False
+    if args.index is None:
+        from .data.paper_example import figure1_ordering, figure1_relation
+
+        index = InvertedIndex.build(figure1_relation(), figure1_ordering())
+        engine = _make_engine(index, args)
+    else:
+        engine = _open_engine(args.index, args)
+    serving = ServingEngine(engine)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=max(1, args.server_workers),
+        queue_depth=args.queue_depth,
+        default_deadline_ms=args.default_deadline_ms,
+        default_k=args.k,
+        default_algorithm=args.algorithm,
+        quota_rate_per_s=args.quota_rate,
+        quota_burst=args.quota_burst,
+    )
+    try:
+        return run_server(serving, config)
+    finally:
+        # Drain has finished every admitted request by the time run_server
+        # returns, so closing here never cuts an answer off mid-execution.
+        serving.close()
+        _write_metrics_snapshot(args)
 
 
 def _write_metrics_snapshot(args) -> None:

@@ -15,7 +15,7 @@ shrinks per page — exactly Definition 2 over ``RES(R, Q) minus shown``.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Set, Union
+from typing import Iterable, Iterator, List, Optional, Set, Union
 
 from ..index.merged import MergedList
 from ..query.parser import parse_query
@@ -82,6 +82,7 @@ class DiversePaginator:
         query: Union[Query, str],
         page_size: int,
         algorithm: str = "probe",
+        shown: Optional[Iterable[DeweyId]] = None,
     ):
         if page_size <= 0:
             raise ValueError("page_size must be positive")
@@ -93,7 +94,11 @@ class DiversePaginator:
         self._query = query
         self._page_size = page_size
         self._algorithm = algorithm
-        self._shown: Set[DeweyId] = set()
+        # ``shown`` seeds the exclusion set: a paginator resumed at page N
+        # (the serving cache holds pages 1..N-1) skips exactly the items
+        # those pages displayed, so resumed and from-scratch pagination
+        # yield identical pages.
+        self._shown: Set[DeweyId] = set(shown) if shown is not None else set()
         self._exhausted = False
 
     @property

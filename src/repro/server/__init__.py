@@ -1,0 +1,48 @@
+"""repro.server — the stdlib-only HTTP/1.1 serving front-end.
+
+Turns the library into a service: a minimal asyncio HTTP layer
+(:mod:`.protocol`) over :class:`~repro.serving.engine.ServingEngine`,
+with deadline-aware admission control and cheapest-to-reject load
+shedding (:mod:`.admission`), per-tenant token-bucket quotas
+(:mod:`.quotas`), the engine/wire mapping (:mod:`.routes`), and
+graceful SIGTERM drain (:mod:`.lifecycle`).  See the README's
+"Serving over HTTP" section for the endpoint contract.
+"""
+
+from .admission import (
+    REASON_DEADLINE,
+    REASON_DRAINING,
+    REASON_OVERLOAD,
+    REASON_SHED,
+    AdmissionController,
+    Rejection,
+    Ticket,
+)
+from .lifecycle import ReproServer, ServerConfig, run_server
+from .protocol import ProtocolError, Request, read_request
+from .quotas import ANONYMOUS_TENANT, TenantQuotas, TokenBucket
+from .routes import DEADLINE_HEADER, TENANT_HEADER, Router
+from .testing import ServerThread
+
+__all__ = [
+    "ANONYMOUS_TENANT",
+    "AdmissionController",
+    "DEADLINE_HEADER",
+    "ProtocolError",
+    "REASON_DEADLINE",
+    "REASON_DRAINING",
+    "REASON_OVERLOAD",
+    "REASON_SHED",
+    "Rejection",
+    "ReproServer",
+    "Request",
+    "Router",
+    "ServerConfig",
+    "ServerThread",
+    "TENANT_HEADER",
+    "TenantQuotas",
+    "Ticket",
+    "TokenBucket",
+    "read_request",
+    "run_server",
+]

@@ -1,0 +1,273 @@
+"""A minimal HTTP/1.1 request parser and response writer over asyncio streams.
+
+The serving front-end deliberately carries no web-framework dependency (the
+project has none at all): the protocol surface the engine needs is one
+request shape — a method, a target with a query string, a handful of
+headers, an optional small body — and two response shapes, a buffered JSON
+document and a chunked stream of result pages.  Everything here is plain
+``asyncio`` stream reading with hard limits on every dimension an abusive
+client controls (request-line length, header count and size, body size),
+because the admission-control story upstairs is only as good as the
+parser's refusal to buffer unbounded input downstairs.
+
+Errors raise :class:`ProtocolError` carrying the HTTP status the connection
+handler should answer with before closing; a clean EOF between requests
+returns ``None`` from :func:`read_request` (the keep-alive loop's exit).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import AsyncIterator, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+#: Hard parser limits; a request exceeding any of them is answered with a
+#: 4xx and the connection is closed (never buffered past the limit).
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_COUNT = 64
+MAX_HEADER_LINE = 8192
+MAX_BODY_BYTES = 1 << 20
+
+#: Stream limit for ``asyncio.start_server`` — one line never exceeds this.
+STREAM_LIMIT = max(MAX_REQUEST_LINE, MAX_HEADER_LINE) + 2
+
+REASONS = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+SERVER_NAME = "repro-serve"
+
+
+class ProtocolError(Exception):
+    """A malformed/abusive request; ``status`` is the answer to send."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(message)
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "target", "path", "params", "headers", "body",
+                 "version")
+
+    def __init__(self, method: str, target: str, version: str,
+                 headers: Dict[str, str], body: bytes):
+        self.method = method
+        self.target = target
+        self.version = version
+        self.headers = headers
+        self.body = body
+        split = urlsplit(target)
+        self.path = split.path or "/"
+        # Last value wins on duplicates — the handlers only use scalars.
+        self.params = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+    def param(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.params.get(name, default)
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 persists by default; 1.0 only on explicit keep-alive."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def __repr__(self) -> str:
+        return f"Request({self.method} {self.target})"
+
+
+async def _read_line(reader, limit: int, what: str) -> bytes:
+    try:
+        line = await reader.readline()
+    except ValueError:
+        # StreamReader raises ValueError when a line exceeds its limit.
+        raise ProtocolError(431, f"{what} exceeds {limit} bytes") from None
+    if len(line) > limit:
+        raise ProtocolError(431, f"{what} exceeds {limit} bytes")
+    return line
+
+
+async def read_request(reader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` on malformed input or exceeded limits.
+    Only identity bodies sized by ``Content-Length`` are accepted (chunked
+    *request* bodies answer 501 — no endpoint needs them).
+    """
+    line = await _read_line(reader, MAX_REQUEST_LINE, "request line")
+    if not line:
+        return None
+    try:
+        text = line.decode("ascii").strip()
+    except UnicodeDecodeError:
+        raise ProtocolError(400, "request line is not ASCII") from None
+    if not text:
+        # Tolerate a stray CRLF between pipelined requests.
+        line = await _read_line(reader, MAX_REQUEST_LINE, "request line")
+        if not line:
+            return None
+        try:
+            text = line.decode("ascii").strip()
+        except UnicodeDecodeError:
+            raise ProtocolError(400, "request line is not ASCII") from None
+    parts = text.split()
+    if len(parts) != 3:
+        raise ProtocolError(400, f"malformed request line {text!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise ProtocolError(400, f"unsupported protocol version {version!r}")
+    headers: Dict[str, str] = {}
+    while True:
+        raw = await _read_line(reader, MAX_HEADER_LINE, "header line")
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise ProtocolError(431, f"more than {MAX_HEADER_COUNT} headers")
+        try:
+            decoded = raw.decode("latin-1").rstrip("\r\n")
+        except UnicodeDecodeError:
+            raise ProtocolError(400, "undecodable header") from None
+        name, separator, value = decoded.partition(":")
+        if not separator or not name.strip():
+            raise ProtocolError(400, f"malformed header {decoded!r}")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding", "").lower() not in ("", "identity"):
+        raise ProtocolError(501, "chunked request bodies are not supported")
+    body = b""
+    length_raw = headers.get("content-length")
+    if length_raw is not None:
+        try:
+            length = int(length_raw)
+        except ValueError:
+            raise ProtocolError(400, f"bad Content-Length {length_raw!r}") from None
+        if length < 0:
+            raise ProtocolError(400, "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length)
+    return Request(method, target, version, headers, body)
+
+
+def json_bytes(document: object) -> bytes:
+    """Compact JSON encoding used for every response body."""
+    return json.dumps(
+        document, separators=(",", ":"), sort_keys=True, default=str
+    ).encode("utf-8")
+
+
+HeaderList = Sequence[Tuple[str, str]]
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    extra_headers: HeaderList = (),
+    keep_alive: bool = True,
+) -> bytes:
+    """One buffered response, Content-Length framed."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Server: {SERVER_NAME}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def error_body(status: int, error: str, message: str, **fields) -> bytes:
+    """The uniform JSON error document every non-200 answer carries."""
+    document = {"status": status, "error": error, "message": message}
+    document.update(fields)
+    return json_bytes(document)
+
+
+async def write_response(
+    writer,
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    extra_headers: HeaderList = (),
+    keep_alive: bool = True,
+) -> None:
+    writer.write(render_response(
+        status, body, content_type=content_type,
+        extra_headers=extra_headers, keep_alive=keep_alive,
+    ))
+    await writer.drain()
+
+
+class ChunkedWriter:
+    """A chunked-transfer response: headers up front, one chunk per page.
+
+    Used by the streaming search path — each diverse result page is one
+    chunk holding one NDJSON line, so clients render pages as they are
+    computed instead of waiting for the last one.
+    """
+
+    def __init__(self, writer, status: int = 200,
+                 content_type: str = "application/x-ndjson",
+                 extra_headers: HeaderList = ()):
+        self._writer = writer
+        self._status = status
+        self._content_type = content_type
+        self._extra_headers = extra_headers
+        self._started = False
+        self._finished = False
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        reason = REASONS.get(self._status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self._status} {reason}",
+            f"Server: {SERVER_NAME}",
+            f"Content-Type: {self._content_type}",
+            "Transfer-Encoding: chunked",
+            "Connection: keep-alive",
+        ]
+        for name, value in self._extra_headers:
+            lines.append(f"{name}: {value}")
+        self._writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        await self._writer.drain()
+
+    async def write_chunk(self, payload: bytes) -> None:
+        if not payload:
+            return
+        await self.start()
+        self._writer.write(b"%x\r\n" % len(payload) + payload + b"\r\n")
+        await self._writer.drain()
+
+    async def finish(self) -> None:
+        if self._finished:
+            return
+        await self.start()
+        self._finished = True
+        self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()

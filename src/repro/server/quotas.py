@@ -1,0 +1,121 @@
+"""Per-tenant token-bucket quotas for the HTTP front-end.
+
+Admission control (:mod:`repro.server.admission`) protects the *engine*
+from aggregate overload; quotas protect *tenants from each other* — one
+chatty caller must not starve the rest of the queue.  Each tenant (the
+``X-Repro-Tenant`` header; unnamed callers share one bucket) gets a token
+bucket refilled at ``rate_per_s`` with a ``burst`` ceiling.  A request
+costs one token; an empty bucket answers ``429`` with a ``Retry-After``
+telling the caller exactly when the next token lands.
+
+The board is sized: least-recently-seen tenants are evicted once
+``max_tenants`` distinct keys have been seen, so a tenant-id-spraying
+client cannot grow memory without bound (an evicted tenant simply starts
+from a full bucket again — strictly more permissive, never less).
+
+Quota checks happen on the event loop only, so there is no locking; the
+clock is injectable (:class:`repro.observability.clock.FakeClock` in
+tests) like every other time source in the project.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..observability import MONOTONIC, Clock
+
+DEFAULT_MAX_TENANTS = 1024
+
+#: The bucket every request without an ``X-Repro-Tenant`` header draws from.
+ANONYMOUS_TENANT = "anonymous"
+
+
+class TokenBucket:
+    """One tenant's budget: ``burst`` capacity refilled at ``rate_per_s``."""
+
+    __slots__ = ("rate_per_s", "burst", "tokens", "stamp")
+
+    def __init__(self, rate_per_s: float, burst: float, now: float):
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = now
+
+    def take(self, now: float) -> float:
+        """Spend one token; 0.0 when granted, else milliseconds until one
+        would be available (the ``Retry-After`` hint)."""
+        elapsed = max(0.0, now - self.stamp)
+        self.stamp = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate_per_s)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        if self.rate_per_s <= 0.0:
+            return math.inf
+        return (1.0 - self.tokens) / self.rate_per_s * 1000.0
+
+
+class TenantQuotas:
+    """The per-tenant bucket board (LRU-bounded, event-loop confined).
+
+    ``rate_per_s <= 0`` disables quotas entirely: :meth:`check` always
+    grants, and no per-tenant state is kept.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float = 0.0,
+        burst: float = 10.0,
+        clock: Clock = MONOTONIC,
+        max_tenants: int = DEFAULT_MAX_TENANTS,
+    ):
+        if burst < 1.0 and rate_per_s > 0.0:
+            raise ValueError("burst must be >= 1 (a request costs one token)")
+        if max_tenants < 1:
+            raise ValueError("max_tenants must be positive")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._clock = clock
+        self._max_tenants = max_tenants
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self.rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate_per_s > 0.0
+
+    def check(self, tenant: Optional[str]) -> float:
+        """Charge one request to ``tenant``; 0.0 when admitted, else the
+        retry-after hint in milliseconds."""
+        if not self.enabled:
+            return 0.0
+        key = tenant or ANONYMOUS_TENANT
+        now = self._clock()
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = TokenBucket(self.rate_per_s, self.burst, now)
+            self._buckets[key] = bucket
+            while len(self._buckets) > self._max_tenants:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(key)
+        retry_after_ms = bucket.take(now)
+        if retry_after_ms > 0.0:
+            self.rejected += 1
+        return retry_after_ms
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current token levels by tenant (diagnostics/tests)."""
+        now = self._clock()
+        levels = {}
+        for tenant, bucket in self._buckets.items():
+            elapsed = max(0.0, now - bucket.stamp)
+            levels[tenant] = min(
+                bucket.burst, bucket.tokens + elapsed * bucket.rate_per_s
+            )
+        return levels
+
+    def __len__(self) -> int:
+        return len(self._buckets)

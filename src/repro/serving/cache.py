@@ -30,7 +30,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional, Tuple, Union
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
 
 from ..core.result import DiverseResult
 from ..query.query import Query
@@ -365,6 +365,84 @@ class ServingCache:
             # recovered shard would keep serving the survivor-only answer.
             if engine.epoch == epoch and not result.stats.get("degraded"):
                 self.results.store(key, result, epoch)
+                self._sync_eviction_counters()
+            return self._serve(result, hit=False)
+
+    def search_page(
+        self,
+        engine,
+        query: Union[Query, str],
+        page: int,
+        page_size: int,
+        algorithm: str,
+    ) -> DiverseResult:
+        """Cached diverse pagination: page ``page`` of ``page_size`` rows.
+
+        Every page is cached independently under the plan's canonical key
+        (``page:<algorithm>:<n>`` in the algorithm slot, so page entries
+        can never collide with whole-answer entries).  A request for page
+        N reuses the longest cached prefix of pages 1..N-1 to seed the
+        paginator's exclusion set — computing only the missing suffix —
+        and stores each newly computed page.  Pages are epoch-keyed like
+        every other entry, and degraded pages are never stored (same
+        invariant as :meth:`search`).
+        """
+        from ..core.pagination import DiversePaginator
+
+        stats = self.stats
+        with self._lock:
+            epoch = engine.epoch
+            plan, outcome = self.plans.lookup(engine, query, False, True)
+            if outcome == "hit":
+                stats.plan_hits += 1
+            elif outcome == "revalidated":
+                stats.plan_revalidations += 1
+            else:
+                stats.plan_misses += 1
+            stats.plan_evictions = self.plans.evictions
+            keys = [
+                self.results.key(
+                    plan.canonical, page_size, f"page:{algorithm}:{n}",
+                    False, True,
+                )
+                for n in range(1, page + 1)
+            ]
+            cached_pages: List[Optional[DiverseResult]] = []
+            for key in keys:
+                cached, invalidated = self.results.lookup(key, epoch)
+                if invalidated:
+                    stats.epoch_invalidations += 1
+                    self._sync_eviction_counters()
+                cached_pages.append(cached)
+            if cached_pages[-1] is not None:
+                stats.hits += 1
+                return self._serve(cached_pages[-1], hit=True)
+            stats.misses += 1
+            ordered = plan.ordered
+        # Compute outside the lock (same discipline as ``search``): seed
+        # the exclusion set from the contiguous cached prefix, then run
+        # the paginator only over the missing pages.
+        shown: set = set()
+        start = 1
+        for prior in cached_pages[:-1]:
+            if prior is None:
+                break
+            shown.update(prior.deweys)
+            start += 1
+        paginator = DiversePaginator(engine, ordered, page_size, algorithm,
+                                     shown=shown)
+        computed: List[Tuple[int, DiverseResult]] = []
+        result: Optional[DiverseResult] = None
+        for number in range(start, page + 1):
+            result = paginator.next_page()
+            result.stats["page"] = number
+            result.stats["page_size"] = page_size
+            computed.append((number, result))
+        with self._lock:
+            if engine.epoch == epoch:
+                for number, fresh in computed:
+                    if not fresh.stats.get("degraded"):
+                        self.results.store(keys[number - 1], fresh, epoch)
                 self._sync_eviction_counters()
             return self._serve(result, hit=False)
 

@@ -11,6 +11,7 @@ mutations bump the index epoch, stale entries die lazily.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -142,6 +143,8 @@ class ServingEngine:
         self._clock = clock
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_size = 0
+        self._close_lock = threading.Lock()
+        self._closed = False
         engine.attach_cache(self._cache)
         self._collector = register_cache_collector(
             registry if registry is not None else get_registry(), self
@@ -264,6 +267,29 @@ class ServingEngine:
         return self._engine.search(query, k, algorithm=algorithm, scored=scored,
                                    optimize=optimize)
 
+    def search_page(self, query, k: int = 10, page: int = 1,
+                    page_size: Optional[int] = None,
+                    algorithm: str = "probe") -> DiverseResult:
+        """Diverse result page ``page`` (1-based), cache-mediated.
+
+        Pages follow :class:`~repro.core.pagination.DiversePaginator`
+        semantics: page 1 is the diverse top-``page_size`` answer, page 2
+        is the diverse top-``page_size`` over everything not yet shown,
+        and so on — pages never overlap.  ``page_size`` defaults to ``k``.
+        Each page is cached independently under the plan's canonical key,
+        so a cache hit returns bit-identical pages until the index epoch
+        moves; degraded pages are never cached (the PR 3 invariant).
+        Unscored only, ``algorithm`` in ``("probe", "onepass")`` — the
+        drivers that run over an exclusion view of the merged list.
+        """
+        if page < 1:
+            raise ValueError("page must be >= 1")
+        size = page_size if page_size is not None else k
+        if size < 1:
+            raise ValueError("page_size must be >= 1")
+        return self._cache.search_page(self._engine, query, page, size,
+                                       algorithm)
+
     def insert(self, row) -> int:
         return self._engine.insert(row)
 
@@ -277,29 +303,42 @@ class ServingEngine:
     # Lifecycle (persistent batch pool)
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the batch pool down and close the wrapped engine (idempotent).
+        """Shut the batch pool down and close the wrapped engine.
 
-        Durable stores attached to the index (single or per-shard) are
-        closed too, syncing and releasing their WAL file handles."""
-        collector, self._collector = self._collector, None
-        if collector is not None:
-            registry, collect = collector
-            # Final flush: materialise the terminal cache stats as gauges,
-            # so a post-close export still sees this engine's lifetime
-            # totals even if nothing exported while it was open.
-            collect()
-            registry.unregister_collector(collect)
-        pool, self._pool = self._pool, None
-        self._pool_size = 0
-        if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
-        self._engine.close()
-        index = self._engine.index
-        stores = getattr(index, "shards", [index])
-        for store in stores:
-            closer = getattr(store, "close", None)
-            if callable(closer):
-                closer()
+        Idempotent and safe to call concurrently — e.g. from a signal
+        handler while another thread is mid-``close`` or mid-
+        ``search_many`` (the server's drain path).  The first caller does
+        the teardown; everyone else returns immediately.  Durable stores
+        attached to the index (single or per-shard) are closed too,
+        syncing and releasing their WAL file handles.
+
+        Concurrent callers serialise on the close lock: the winner tears
+        down, later callers block until teardown finishes and then
+        return — so "close returned" always means "fully closed"."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            collector, self._collector = self._collector, None
+            if collector is not None:
+                registry, collect = collector
+                # Final flush: materialise the terminal cache stats as
+                # gauges, so a post-close export still sees this engine's
+                # lifetime totals even if nothing exported while it was
+                # open.
+                collect()
+                registry.unregister_collector(collect)
+            pool, self._pool = self._pool, None
+            self._pool_size = 0
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+            self._engine.close()
+            index = self._engine.index
+            stores = getattr(index, "shards", [index])
+            for store in stores:
+                closer = getattr(store, "close", None)
+                if callable(closer):
+                    closer()
 
     def __enter__(self) -> "ServingEngine":
         return self

@@ -50,6 +50,7 @@ the global (summed) epoch (degraded answers are never cached).
 from __future__ import annotations
 
 import random
+import threading
 import time
 import weakref
 from concurrent.futures import ThreadPoolExecutor, wait
@@ -261,6 +262,8 @@ class ShardedEngine(DiversityEngine):
         self._health = HealthBoard(index.num_shards, self._policy, clock=clock)
         self._retry_rng = random.Random(self._policy.seed)
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._close_lock = threading.Lock()
+        self._closed = False
         self._collector = _register_health_collector(self._metrics(), self)
 
     @classmethod
@@ -288,14 +291,23 @@ class ShardedEngine(DiversityEngine):
     # Lifecycle (persistent fan-out pool)
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the fan-out thread pool down (idempotent)."""
-        collector, self._collector = self._collector, None
-        if collector is not None:
-            registry, collect = collector
-            registry.unregister_collector(collect)
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
+        """Shut the fan-out thread pool down.
+
+        Idempotent and concurrency-safe (callable from a signal handler
+        while a search is in flight): callers serialise on the close
+        lock, the first one tears down, the rest block until it has
+        finished and then return."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            collector, self._collector = self._collector, None
+            if collector is not None:
+                registry, collect = collector
+                registry.unregister_collector(collect)
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "ShardedEngine":
         return self

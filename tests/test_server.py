@@ -1,0 +1,589 @@
+"""The HTTP front-end: protocol, quotas, admission, and the wire contract.
+
+Four layers, tested bottom-up:
+
+1. :mod:`repro.server.protocol` — parser limits and framing, in isolation
+   over in-memory streams.
+2. :mod:`repro.server.quotas` — token-bucket arithmetic on a fake clock.
+3. :mod:`repro.server.admission` — deadline-aware admission and
+   cheapest-to-reject shedding, on a fake clock with no sockets at all.
+4. The full server (``ServerThread`` + ``http.client``) — status codes,
+   headers, pagination streaming, overload shedding, graceful drain, and
+   the end-to-end degraded-response contract (a crashed shard behind the
+   server yields ``200`` + ``X-Repro-Degraded``, the answer is verified
+   diverse over the survivors, and the degraded answer is never cached).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+import urllib.parse
+
+import pytest
+
+from repro.core import baselines
+from repro.core.similarity import is_diverse
+from repro.data.paper_example import figure1_ordering, figure1_relation
+from repro.index.merged import MergedList
+from repro.observability import FakeClock, MetricsRegistry, use_registry
+from repro.query.parser import parse_query
+from repro.resilience import ChaosPolicy
+from repro.serving import ServingEngine
+from repro.server import (
+    AdmissionController,
+    Rejection,
+    ServerConfig,
+    ServerThread,
+    TenantQuotas,
+)
+from repro.server.admission import (
+    REASON_DEADLINE,
+    REASON_OVERLOAD,
+    REASON_SHED,
+)
+from repro.server.protocol import (
+    ProtocolError,
+    read_request,
+    render_response,
+)
+
+QUERY = urllib.parse.quote("Make = 'Honda'")
+
+
+# ======================================================================
+# Layer 1: protocol
+# ======================================================================
+def _parse(raw: bytes):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestProtocol:
+    def test_parses_target_params_and_headers(self):
+        request = _parse(
+            b"GET /search?q=abc&k=3 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"X-Repro-Tenant: alice\r\n"
+            b"\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/search"
+        assert request.param("q") == "abc"
+        assert request.param("k") == "3"
+        assert request.header("x-repro-tenant") == "alice"
+        assert request.header("X-Repro-Tenant") == "alice"  # case-blind
+        assert request.keep_alive  # 1.1 default
+
+    def test_connection_close_and_http10(self):
+        assert not _parse(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive
+        assert not _parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive
+        assert _parse(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_body_via_content_length(self):
+        request = _parse(
+            b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+        assert request.body == b"hello"
+
+    @pytest.mark.parametrize(
+        "raw, status",
+        [
+            (b"GARBAGE\r\n\r\n", 400),                      # no method/target
+            (b"GET / HTTP/9.9\r\n\r\n", 400),               # bad version
+            (b"GET / HTTP/1.1\r\nbroken header\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+            (b"GET / HTTP/1.1\r\nContent-Length: 9999999999\r\n\r\n", 413),
+        ],
+    )
+    def test_malformed_requests(self, raw, status):
+        with pytest.raises(ProtocolError) as excinfo:
+            _parse(raw)
+        assert excinfo.value.status == status
+
+    def test_header_count_limit(self):
+        raw = b"GET / HTTP/1.1\r\n" + b"".join(
+            b"H%d: v\r\n" % i for i in range(100)) + b"\r\n"
+        with pytest.raises(ProtocolError) as excinfo:
+            _parse(raw)
+        assert excinfo.value.status == 431
+
+    def test_render_response_framing(self):
+        raw = render_response(200, b'{"ok":1}', keep_alive=False)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert body == b'{"ok":1}'
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"Content-Length: 8" in head
+        assert b"Connection: close" in head
+
+
+# ======================================================================
+# Layer 2: quotas
+# ======================================================================
+class TestQuotas:
+    def test_disabled_by_default(self):
+        quotas = TenantQuotas()
+        assert not quotas.enabled
+        assert quotas.check("anyone") == 0.0
+        assert len(quotas) == 0  # no state kept when disabled
+
+    def test_burst_then_reject_with_retry_hint(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate_per_s=2.0, burst=3.0, clock=clock)
+        assert [quotas.check("t") for _ in range(3)] == [0.0, 0.0, 0.0]
+        retry_after = quotas.check("t")
+        # Bucket is empty; at 2 tokens/s one token is 500 ms away.
+        assert retry_after == pytest.approx(500.0)
+        assert quotas.rejected == 1
+        clock.advance(0.5)
+        assert quotas.check("t") == 0.0  # refilled exactly one token
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate_per_s=1.0, burst=1.0, clock=clock)
+        assert quotas.check("a") == 0.0
+        assert quotas.check("a") > 0.0
+        assert quotas.check("b") == 0.0  # b has its own bucket
+
+    def test_anonymous_callers_share_one_bucket(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate_per_s=1.0, burst=1.0, clock=clock)
+        assert quotas.check(None) == 0.0
+        assert quotas.check("") > 0.0  # falsy tenant = same anonymous bucket
+
+    def test_lru_eviction_bounds_memory(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate_per_s=1.0, burst=1.0, clock=clock,
+                              max_tenants=2)
+        quotas.check("a")
+        quotas.check("b")
+        quotas.check("c")  # evicts a
+        assert len(quotas) == 2
+        assert "a" not in quotas.snapshot()
+        # Evicted tenant restarts from a full bucket (permissive, never worse).
+        assert quotas.check("a") == 0.0
+
+
+# ======================================================================
+# Layer 3: admission control
+# ======================================================================
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAdmission:
+    def test_rejects_unmeetable_deadline_on_arrival(self):
+        async def scenario():
+            clock = FakeClock()
+            admission = AdmissionController(
+                initial_ms_per_unit=1.0, clock=clock)
+            # cost 100 units at 1 ms/unit = 100 ms of service: a 50 ms
+            # deadline can never be met, even with an empty queue.
+            with pytest.raises(Rejection) as excinfo:
+                admission.submit(100.0, 50.0, lambda: None)
+            assert excinfo.value.status == 429
+            assert excinfo.value.reason == REASON_DEADLINE
+            assert excinfo.value.retry_after_ms == pytest.approx(50.0)
+            assert admission.rejected == 1
+            # The same request with a workable deadline is admitted.
+            ticket = admission.submit(100.0, 200.0, lambda: None)
+            assert ticket.state == "queued"
+            assert admission.admitted == 1
+
+        run_async(scenario())
+
+    def test_projected_wait_counts_queued_and_inflight(self):
+        async def scenario():
+            clock = FakeClock()
+            admission = AdmissionController(
+                initial_ms_per_unit=1.0, workers=1, clock=clock)
+            admission.submit(100.0, None, lambda: None)
+            await admission.next_ticket()           # 100 units in flight
+            admission.submit(50.0, None, lambda: None)  # 50 queued
+            assert admission.projected_wait_ms() == pytest.approx(150.0)
+            # A deadline inside the projected wait is rejected on arrival.
+            with pytest.raises(Rejection):
+                admission.submit(1.0, 100.0, lambda: None)
+
+        run_async(scenario())
+
+    def test_queue_full_sheds_costliest(self):
+        async def scenario():
+            clock = FakeClock()
+            admission = AdmissionController(
+                queue_depth=2, initial_ms_per_unit=0.001, clock=clock)
+            cheap = admission.submit(1.0, None, lambda: None)
+            pricey = admission.submit(100.0, None, lambda: None)
+            newcomer = admission.submit(5.0, None, lambda: None)
+            # The most expensive queued request was shed, not the newcomer.
+            assert pricey.state == "shed"
+            assert cheap.state == "queued"
+            assert newcomer.state == "queued"
+            with pytest.raises(Rejection) as excinfo:
+                await pricey.future
+            assert excinfo.value.status == 503
+            assert excinfo.value.reason == REASON_SHED
+            assert admission.shed == 1
+
+        run_async(scenario())
+
+    def test_queue_full_rejects_newcomer_when_it_is_costliest(self):
+        async def scenario():
+            clock = FakeClock()
+            admission = AdmissionController(
+                queue_depth=1, initial_ms_per_unit=0.001, clock=clock)
+            queued = admission.submit(1.0, None, lambda: None)
+            with pytest.raises(Rejection) as excinfo:
+                admission.submit(100.0, None, lambda: None)
+            assert excinfo.value.reason == REASON_OVERLOAD
+            assert queued.state == "queued"  # incumbent survives
+
+        run_async(scenario())
+
+    def test_expired_deadline_victim_shed_first(self):
+        async def scenario():
+            clock = FakeClock()
+            admission = AdmissionController(
+                queue_depth=2, initial_ms_per_unit=0.001, clock=clock)
+            expired = admission.submit(999.0, 10.0, lambda: None)
+            fresh = admission.submit(1.0, None, lambda: None)
+            clock.advance(0.05)  # 50 ms: the first ticket's deadline passed
+            admission.submit(1.0, None, lambda: None)
+            assert expired.state == "shed"  # free rejection, costliest spared
+            assert fresh.state == "queued"
+
+        run_async(scenario())
+
+    def test_running_tickets_are_never_shed(self):
+        async def scenario():
+            clock = FakeClock()
+            admission = AdmissionController(
+                queue_depth=1, initial_ms_per_unit=0.001, clock=clock)
+            running = admission.submit(1000.0, None, lambda: None)
+            await admission.next_ticket()
+            assert running.state == "running"
+            admission.submit(1.0, None, lambda: None)
+            with pytest.raises(Rejection):
+                # Queue holds one cheap ticket; this costlier newcomer is
+                # rejected rather than ever touching the running ticket.
+                admission.submit(500.0, None, lambda: None)
+            assert running.state == "running"
+
+        run_async(scenario())
+
+    def test_ewma_learns_service_rate(self):
+        async def scenario():
+            clock = FakeClock()
+            admission = AdmissionController(
+                initial_ms_per_unit=1.0, rate_alpha=0.5, clock=clock)
+            admission.submit(10.0, None, lambda: None)
+            ticket = await admission.next_ticket()
+            admission.finish(ticket, 30.0)  # 3 ms/unit observed
+            assert admission.ms_per_unit == pytest.approx(2.0)  # 0.5*3 + 0.5*1
+            admission.submit(10.0, None, lambda: None)
+            ticket = await admission.next_ticket()
+            admission.finish(ticket, -1.0)  # refused ticket: no sample
+            assert admission.ms_per_unit == pytest.approx(2.0)
+
+        run_async(scenario())
+
+    def test_drain_refuses_and_wait_idle_resolves(self):
+        async def scenario():
+            clock = FakeClock()
+            admission = AdmissionController(clock=clock)
+            admission.submit(1.0, None, lambda: None)
+            admission.start_draining()
+            with pytest.raises(Rejection) as excinfo:
+                admission.submit(1.0, None, lambda: None)
+            assert excinfo.value.status == 503
+            # The admitted ticket still runs to completion.
+            ticket = await admission.next_ticket()
+            admission.finish(ticket, 1.0)
+            await asyncio.wait_for(admission.wait_idle(), timeout=1.0)
+
+        run_async(scenario())
+
+
+# ======================================================================
+# Layer 4: the full server
+# ======================================================================
+def _request(address, target, headers=None, timeout=30.0):
+    """One GET against the test server; returns (status, headers, body)."""
+    host, port = address
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", target, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    with use_registry(fresh):
+        yield fresh
+
+
+@pytest.fixture
+def figure1_server(registry):
+    serving = ServingEngine.from_relation(
+        figure1_relation(), figure1_ordering())
+    with ServerThread(serving, ServerConfig(), registry=registry) as thread:
+        yield thread
+    serving.close()
+
+
+class TestServerEndToEnd:
+    def test_search_roundtrip_with_cache_headers(self, figure1_server):
+        address = figure1_server.address
+        status, headers, body = _request(address, f"/search?q={QUERY}&k=2")
+        assert status == 200
+        assert headers["X-Repro-Cache"] == "miss"
+        assert "X-Repro-Degraded" not in headers
+        document = json.loads(body)
+        assert document["count"] == 2
+        assert len(document["items"]) == 2
+        assert {"rid", "dewey", "values", "score"} <= set(document["items"][0])
+        # The identical query is a result-cache hit with identical items.
+        status, headers, repeat = _request(address, f"/search?q={QUERY}&k=2")
+        assert status == 200
+        assert headers["X-Repro-Cache"] == "hit"
+        assert json.loads(repeat)["items"] == document["items"]
+
+    def test_healthz_and_index(self, figure1_server):
+        status, _, body = _request(figure1_server.address, "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+        status, _, body = _request(figure1_server.address, "/")
+        assert status == 200
+        assert "/search" in json.loads(body)["endpoints"]
+
+    def test_error_statuses(self, figure1_server):
+        address = figure1_server.address
+        cases = {
+            "/nope": 404,
+            "/search": 400,                              # missing q
+            f"/search?q={QUERY}&k=0": 400,
+            f"/search?q={QUERY}&algorithm=wat": 400,
+            "/search?q=%3D%3D%3D": 400,                  # parse error
+            f"/search?q={QUERY}&page=1&pages=2": 400,    # mutually exclusive
+            f"/search?q={QUERY}&scored=1&page=1": 400,   # scored pagination
+        }
+        for target, expected in cases.items():
+            status, _, body = _request(address, target)
+            assert status == expected, target
+            assert json.loads(body)["status"] == expected
+
+    def test_single_page_and_stream_do_not_overlap(self, figure1_server):
+        address = figure1_server.address
+        pages = []
+        for number in (1, 2, 3):
+            status, _, body = _request(
+                address,
+                f"/search?q={QUERY}&page={number}&page_size=1")
+            assert status == 200
+            pages.append(json.loads(body))
+        rids = [item["rid"] for page in pages for item in page["items"]]
+        assert len(rids) == len(set(rids))  # pages never repeat a row
+        # The streaming path yields the same pages, one NDJSON line each.
+        status, headers, body = _request(
+            address, f"/search?q={QUERY}&pages=3&page_size=1")
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-ndjson"
+        lines = [json.loads(line) for line in body.splitlines() if line]
+        assert [p["items"] for p in lines] == [p["items"] for p in pages]
+
+    def test_quota_rejects_with_retry_after(self, registry):
+        serving = ServingEngine.from_relation(
+            figure1_relation(), figure1_ordering())
+        config = ServerConfig(quota_rate_per_s=0.001, quota_burst=2.0)
+        with ServerThread(serving, config, registry=registry) as thread:
+            address = thread.address
+            headers = {"X-Repro-Tenant": "greedy"}
+            for _ in range(2):
+                status, _, _ = _request(
+                    address, f"/search?q={QUERY}", headers=headers)
+                assert status == 200
+            status, answer_headers, body = _request(
+                address, f"/search?q={QUERY}", headers=headers)
+            assert status == 429
+            assert json.loads(body)["error"] == "quota_exceeded"
+            assert int(answer_headers["Retry-After"]) >= 1
+            # Another tenant is unaffected.
+            status, _, _ = _request(
+                address, f"/search?q={QUERY}",
+                headers={"X-Repro-Tenant": "patient"})
+            assert status == 200
+        serving.close()
+
+    def test_unmeetable_deadline_rejected_on_arrival(self, registry):
+        serving = ServingEngine.from_relation(
+            figure1_relation(), figure1_ordering())
+        # 1000 ms/unit makes any query's estimated service dwarf a 1 ms
+        # deadline, so admission must refuse before execution.
+        config = ServerConfig(initial_ms_per_unit=1000.0)
+        with ServerThread(serving, config, registry=registry) as thread:
+            status, headers, body = _request(
+                thread.address, f"/search?q={QUERY}&deadline_ms=1")
+            assert status == 429
+            assert json.loads(body)["error"] == REASON_DEADLINE
+            assert "Retry-After" in headers
+            # deadline_ms=0 means unbounded: the same query succeeds.
+            status, _, _ = _request(
+                thread.address, f"/search?q={QUERY}&deadline_ms=0")
+            assert status == 200
+        serving.close()
+
+    def test_deadline_header_equivalent_to_param(self, registry):
+        serving = ServingEngine.from_relation(
+            figure1_relation(), figure1_ordering())
+        config = ServerConfig(initial_ms_per_unit=1000.0)
+        with ServerThread(serving, config, registry=registry) as thread:
+            status, _, _ = _request(
+                thread.address, f"/search?q={QUERY}",
+                headers={"X-Repro-Deadline-Ms": "1"})
+            assert status == 429
+        serving.close()
+
+    def test_overload_sheds_instead_of_collapsing(self, registry):
+        serving = _SlowServing(figure1_relation(), delay_s=0.15)
+        config = ServerConfig(queue_depth=1, workers=1,
+                              default_deadline_ms=0.0)
+        with ServerThread(serving, config, registry=registry) as thread:
+            address = thread.address
+            outcomes = []
+            lock = threading.Lock()
+
+            def fire():
+                status, _, body = _request(
+                    address, f"/search?q={QUERY}&deadline_ms=0")
+                with lock:
+                    outcomes.append((status, body))
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for worker in threads:
+                worker.start()
+                time.sleep(0.01)  # arrivals overlap but are ordered
+            for worker in threads:
+                worker.join(timeout=30.0)
+            statuses = sorted(status for status, _ in outcomes)
+            assert len(statuses) == 6
+            assert statuses.count(200) >= 2  # running + queued finish
+            assert any(status == 503 for status in statuses)  # overload shed
+            admission = thread.server.admission
+            assert admission.shed + admission.rejected >= 1
+            assert admission.completed >= 2
+        serving.close()
+
+    def test_graceful_drain_finishes_inflight_work(self, registry):
+        serving = _SlowServing(figure1_relation(), delay_s=0.3)
+        with ServerThread(serving, ServerConfig(), registry=registry) as thread:
+            address = thread.address
+            outcome = {}
+
+            def slow_call():
+                outcome["answer"] = _request(
+                    address, f"/search?q={QUERY}&deadline_ms=0")
+
+            caller = threading.Thread(target=slow_call)
+            caller.start()
+            time.sleep(0.1)  # request is admitted and executing
+            thread.stop()    # full drain on the server's own loop
+            caller.join(timeout=30.0)
+            status, _, _ = outcome["answer"]
+            assert status == 200  # in-flight answer completed, not cut off
+        serving.close()
+
+    def test_metrics_endpoints_both_formats(self, figure1_server):
+        address = figure1_server.address
+        _request(address, f"/search?q={QUERY}")
+        status, headers, body = _request(address, "/metrics")
+        assert status == 200
+        assert "text/plain" in headers["Content-Type"]
+        assert b"repro_http_requests_total" in body
+        assert b"repro_http_queue_depth" in body
+        status, _, body = _request(address, "/metrics?format=json")
+        assert status == 200
+        snapshot = json.loads(body)
+        names = {counter["name"] for counter in snapshot["counters"]}
+        assert "repro_http_requests_total" in names
+        assert "repro_http_admitted_total" in names
+        histograms = {h["name"] for h in snapshot["histograms"]}
+        assert "repro_http_request_ms" in histograms
+
+
+class _SlowServing(ServingEngine):
+    """A serving engine whose every search takes ``delay_s`` (overload rig)."""
+
+    def __init__(self, relation, delay_s: float):
+        from repro import DiversityEngine
+
+        super().__init__(
+            DiversityEngine.from_relation(relation, figure1_ordering()))
+        self._delay_s = delay_s
+
+    def search(self, query, k, algorithm="probe", scored=False, optimize=True):
+        time.sleep(self._delay_s)
+        return super().search(query, k, algorithm=algorithm, scored=scored,
+                              optimize=optimize)
+
+
+# ======================================================================
+# The degraded-response contract, end to end (satellite 3)
+# ======================================================================
+class TestDegradedContract:
+    def test_crashed_shard_yields_flagged_uncached_diverse_answer(
+            self, registry):
+        serving = ServingEngine.from_relation(
+            figure1_relation(), figure1_ordering(), shards=2)
+        engine = serving.engine
+        engine.inject_chaos(ChaosPolicy.crash_shards(0))
+        k = 3
+        query = parse_query("Make = 'Honda'")
+        with ServerThread(serving, ServerConfig(), registry=registry) as thread:
+            address = thread.address
+            target = f"/search?q={QUERY}&k={k}&algorithm=naive&deadline_ms=0"
+            status, headers, body = _request(address, target)
+            # Survivor-only answer: 200, flagged, correct shard arithmetic.
+            assert status == 200
+            assert headers["X-Repro-Degraded"] == "shards=1/2"
+            document = json.loads(body)
+            assert document["degraded"] is True
+            # The answer satisfies Definitions 1-2 over the reachable rows.
+            survivors = []
+            for shard_id, shard in enumerate(engine.sharded_index.shards):
+                if shard_id == 0:
+                    continue
+                merged = MergedList(query, getattr(shard, "inner", shard))
+                survivors.extend(baselines.collect_all(merged))
+            deweys = [tuple(item["dewey"]) for item in document["items"]]
+            assert is_diverse(deweys, survivors, k)
+            # Shard recovered: the follow-up answer must be computed fresh
+            # (a cached degraded answer would keep serving the outage).
+            engine.clear_chaos()
+            status, headers, body = _request(address, target)
+            assert status == 200
+            assert "X-Repro-Degraded" not in headers
+            assert headers["X-Repro-Cache"] == "miss"
+            healthy = json.loads(body)
+            assert healthy["degraded"] is False
+            # The healthy (full-coverage) answer now does get cached.
+            status, headers, _ = _request(address, target)
+            assert headers["X-Repro-Cache"] == "hit"
+        serving.close()
