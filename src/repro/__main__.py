@@ -103,6 +103,16 @@ def main(argv=None) -> int:
         help="partition the durable store across N shards (one WAL + "
         "snapshot per shard); only meaningful with --data-dir",
     )
+    durability.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="R",
+        help="record a replication factor of R in the manifest: recover/"
+        "serve grow each shard to R bit-identical copies with automatic "
+        "failover (only replica 0 is persisted; the rest bootstrap from "
+        "its snapshot + WAL)",
+    )
 
     query = commands.add_parser("query", help="run one diverse query")
     query.add_argument(
@@ -331,17 +341,54 @@ def _query_options(parser: argparse.ArgumentParser) -> None:
         "--chaos-crash",
         default="",
         metavar="IDS",
-        help="comma-separated shard ids to hard-kill (e.g. '0,2')",
+        help="comma-separated shard ids to hard-kill (e.g. '0,2'); with "
+        "--replicas, SHARD:REPLICA kills one copy (e.g. '0:1,2:0')",
+    )
+    replication = parser.add_argument_group(
+        "replication (sharded deployments)",
+        "R bit-identical copies per shard behind automatic failover: "
+        "answers stay exact (never degraded) while at least one replica "
+        "of every shard survives",
+    )
+    replication.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="R",
+        help="replicas per shard (default: 1, or a durable store's "
+        "manifest value when recovering)",
+    )
+    replication.add_argument(
+        "--hedge-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="arm hedged reads: race a backup replica when the first "
+        "read exceeds MS (adaptive: rises to the observed p95)",
     )
 
 
 def _parse_crash_list(raw: str) -> list:
+    """Crash addresses: '2' kills shard 2, '2:1' kills only its replica 1."""
+    addresses: list = []
     try:
-        return [int(part) for part in raw.split(",") if part.strip()]
+        for part in raw.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if ":" in part:
+                shard, replica = part.split(":", 1)
+                addresses.append((int(shard), int(replica)))
+            else:
+                addresses.append(int(part))
     except ValueError:
-        print(f"--chaos-crash expects comma-separated shard ids, got {raw!r}",
-              file=sys.stderr)
+        print(
+            f"--chaos-crash expects comma-separated shard ids or "
+            f"SHARD:REPLICA pairs, got {raw!r}",
+            file=sys.stderr,
+        )
         raise SystemExit(2) from None
+    return addresses
 
 
 def _chaos_from_args(args) -> ChaosPolicy | None:
@@ -363,10 +410,27 @@ def _chaos_from_args(args) -> ChaosPolicy | None:
     )
 
 
+def _hedge_from_args(args):
+    hedge_ms = getattr(args, "hedge_ms", None)
+    if hedge_ms is None:
+        return None
+    from .replication import HedgePolicy
+
+    return HedgePolicy(delay_ms=hedge_ms)
+
+
 def _make_engine(index, args) -> DiversityEngine:
     shards = getattr(args, "shards", 1)
     if shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
+        raise SystemExit(2)
+    replicas = getattr(args, "replicas", None) or 1
+    if replicas < 1:
+        print("--replicas must be >= 1", file=sys.stderr)
+        raise SystemExit(2)
+    if replicas > 1 and shards <= 1:
+        print("--replicas needs a sharded deployment (--shards >= 2)",
+              file=sys.stderr)
         raise SystemExit(2)
     if shards > 1:
         # Re-partition the loaded single index: snapshots store one index,
@@ -379,6 +443,8 @@ def _make_engine(index, args) -> DiversityEngine:
             max_retries=getattr(args, "retries", 2),
             seed=getattr(args, "chaos_seed", 0),
         )
+        if replicas > 1:
+            index.replicate(replicas, policy=policy, hedge=_hedge_from_args(args))
         engine: DiversityEngine = ShardedEngine(
             index, workers=getattr(args, "workers", 0), policy=policy
         )
@@ -422,6 +488,13 @@ def _cmd_build(args) -> int:
     if args.out is None and args.data_dir is None:
         print("build needs --out and/or --data-dir", file=sys.stderr)
         return 2
+    if args.replicas < 1:
+        print("--replicas must be >= 1", file=sys.stderr)
+        return 2
+    if args.replicas > 1 and args.shards <= 1:
+        print("--replicas needs a sharded store (--shards >= 2)",
+              file=sys.stderr)
+        return 2
     started = time.perf_counter()
     relation = read_csv(args.csv, name=args.csv.stem)
     ordering = DiversityOrdering(
@@ -437,10 +510,12 @@ def _cmd_build(args) -> int:
             )
             create_sharded_store(
                 sharded, args.data_dir, snapshot_every=args.snapshot_every,
-                fsync_every=args.fsync_every,
+                fsync_every=args.fsync_every, replicas=args.replicas,
             )
+            suffix = (f", x{args.replicas} replicas on recovery"
+                      if args.replicas > 1 else "")
             destinations.append(
-                f"{args.data_dir} ({args.shards} durable shards)"
+                f"{args.data_dir} ({args.shards} durable shards{suffix})"
             )
         else:
             index = InvertedIndex.build(relation, ordering, backend=args.backend)
@@ -479,9 +554,22 @@ def _recover_engine(data_dir: Path, args) -> DiversityEngine:
             max_retries=getattr(args, "retries", 2),
             seed=getattr(args, "chaos_seed", 0),
         )
+        replicas = getattr(args, "replicas", None)
+        if replicas is None:
+            # The build-time --replicas choice lives in the manifest;
+            # recovery re-grows to that factor unless overridden.
+            from .durability.store import read_manifest
+
+            replicas = int(read_manifest(data_dir).get("replicas", 1))
+        if replicas > 1:
+            recovered.replicate(replicas, policy=policy,
+                                hedge=_hedge_from_args(args))
         engine = ShardedEngine(
             recovered, workers=getattr(args, "workers", 0), policy=policy
         )
+        chaos = _chaos_from_args(args)
+        if chaos is not None:
+            engine.inject_chaos(chaos)
     _attach_cache(engine, args)
     return engine
 

@@ -101,6 +101,7 @@ def create_sharded_store(
     snapshot_every: int = 0,
     fsync_every: int = 1,
     injector: Optional[CrashInjector] = None,
+    replicas: int = 1,
 ) -> ShardedIndex:
     """Initialise a data directory for ``index`` and make it durable.
 
@@ -108,7 +109,17 @@ def create_sharded_store(
     returned object *is* ``index``); subsequent inserts/removes are
     write-ahead-logged per shard, and each shard snapshots itself
     independently when its log reaches ``snapshot_every`` records.
+
+    ``replicas`` records the deployment's intended replication factor in
+    the manifest so :func:`recover_sharded_store` callers (the CLI's
+    ``recover``/``serve``) re-replicate to the same factor by default —
+    only replica 0 of each shard is durable; the other copies are
+    re-bootstrapped from it on recovery.  Replication itself happens
+    *after* this call (``ShardedIndex.replicate``), so the durable
+    wrapper always sits under the replica set, never over it.
     """
+    if replicas < 1:
+        raise ValueError("replica count must be >= 1")
     for shard in index.shards:
         if not isinstance(shard, InvertedIndex):
             raise TypeError(
@@ -124,6 +135,7 @@ def create_sharded_store(
         "router": router_spec(index.router),
         "snapshot_every": snapshot_every,
         "fsync_every": fsync_every,
+        "replicas": replicas,
     })
     owned: List[Set[int]] = [set() for _ in range(index.num_shards)]
     for rid in range(len(index.relation)):

@@ -315,6 +315,28 @@ class InvertedIndex:
         self._epoch += 1
         return dewey
 
+    def remove_mirrored(self, rid: int, dewey: DeweyId) -> DeweyId:
+        """Replica-side removal: drop ``dewey`` from this copy's posting
+        lists and bump the epoch, leaving the (shared) Dewey assignment
+        alone.  In a replicated shard the primary's :meth:`remove` retires
+        the global assignment exactly once; the follower copies — which
+        share that assignment — mirror only the posting-list effect here,
+        so every replica lands on the same epoch and content.
+        """
+        row = self._relation[rid]
+        self._all.remove(dewey)
+        for name, value in zip(self._relation.schema.names, row):
+            postings = self._scalar.get((name, value))
+            if postings is not None:
+                postings.remove(dewey)
+        for name in self._text_attributes:
+            for token in token_set(self._relation.value(rid, name)):
+                postings = self._token.get((name, token))
+                if postings is not None:
+                    postings.remove(dewey)
+        self._epoch += 1
+        return dewey
+
     def insert(self, rid: int) -> DeweyId:
         """Index one new row of the underlying relation."""
         dewey = self._dewey.add(rid)

@@ -1,0 +1,43 @@
+"""Hedged-read policy: when to fire the backup read, and at whom.
+
+A hedged read races a second replica against a primary that is taking
+suspiciously long: after a delay — the configured percentile of recently
+observed read latencies, floored by ``delay_ms`` while the sample window
+warms up — one backup read goes to the next-best replica, the first
+response wins, and the loser is cancelled (best-effort: an already-running
+pure-python read completes in the background and only its health outcome
+is kept).  At most one backup per shard read, always bounded by the
+query's remaining deadline budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Knobs for hedged reads on one :class:`~repro.replication.ReplicaSet`."""
+
+    delay_ms: float = 20.0     # floor / cold-start hedge delay
+    percentile: float = 0.95   # observed-latency quantile that sets the delay
+    window: int = 128          # latency samples retained per replica set
+    min_samples: int = 16      # below this, delay_ms alone drives hedging
+
+    def __post_init__(self):
+        if self.delay_ms < 0:
+            raise ValueError("delay_ms must be non-negative")
+        if not 0.0 < self.percentile < 1.0:
+            raise ValueError("percentile must be in (0, 1)")
+        if self.window < 1:
+            raise ValueError("window must be positive")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be positive")
+
+    def delay_seconds(self, samples) -> float:
+        """The hedge trigger delay given the recent latency samples (ms)."""
+        if len(samples) >= self.min_samples:
+            ranked = sorted(samples)
+            index = min(len(ranked) - 1, int(len(ranked) * self.percentile))
+            return max(self.delay_ms, ranked[index]) / 1000.0
+        return self.delay_ms / 1000.0

@@ -1,0 +1,577 @@
+"""R bit-identical copies of one logical shard behind one read protocol.
+
+A :class:`ReplicaSet` stands where a single shard index used to stand in
+``ShardedIndex._shards`` (the same in-place wrapping idiom chaos and
+durability use), so both engine strategies — scatter-gather and the
+coordinator-driven union-cursor scan — read through it without knowing
+replication exists.  Guarantees:
+
+* **Bit-identical reads from any copy.**  Every replica serves the same
+  rid subset over the *same shared global Dewey assignment* at the same
+  epoch (verified by payload sha256 at bootstrap,
+  :mod:`repro.replication.bootstrap`), so failing over mid-query cannot
+  change an answer — the paper's Definitions 1-2 are preserved exactly
+  through any partial replica loss.
+* **Transparent failover.**  Reads prefer the healthiest copy (closed
+  breaker first, lowest EWMA latency, replica id as the deterministic
+  tiebreak) and on :class:`TransientShardError` / :class:`ShardCrashedError`
+  / an open per-replica breaker move to the next.  Only when *every*
+  copy fails does the set surface a shard-level error — transient if any
+  copy failed transiently (the engine's retry machinery may yet succeed),
+  crashed otherwise — so the engine degrades or fails exactly as if the
+  whole logical shard were lost.
+* **Optional hedged reads.**  With a :class:`~repro.replication.hedging
+  .HedgePolicy`, the first attempt of a read races a backup on the
+  next-best replica after the configured latency percentile; first
+  response wins, the loser is cancelled (best-effort), never more than
+  one backup per read, and both the trigger delay and the wait are
+  bounded by the query's remaining deadline budget
+  (:func:`~repro.resilience.policy.current_deadline`).  Unhedged sets
+  are fully sequential and deterministic — the chaos differential suite
+  runs that way.
+* **Converged mutations.**  ``insert``/``remove`` forward to every copy
+  (primary first — a durable primary WALs the record before any copy
+  changes) and then assert epoch + Dewey agreement, raising
+  :class:`~repro.resilience.errors.ReplicaDivergenceError` on any
+  disagreement rather than serving from a silently forked copy.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..observability import MONOTONIC, Clock, get_registry
+from ..resilience.breaker import CircuitBreaker, OPEN
+from ..resilience.errors import (
+    ReplicaDivergenceError,
+    ShardCrashedError,
+    TransientShardError,
+)
+from ..resilience.policy import DEFAULT_POLICY, ResiliencePolicy, current_deadline
+from .bootstrap import bootstrap_replicas
+from .hedging import HedgePolicy
+
+#: EWMA smoothing for per-replica read latency (weight of the new sample).
+_EWMA_ALPHA = 0.2
+
+
+def _remaining_seconds(deadline) -> Optional[float]:
+    """Deadline budget as a future/wait timeout (None when unbounded)."""
+    if deadline is None:
+        return None
+    remaining_ms = deadline.remaining_ms()
+    if math.isinf(remaining_ms):
+        return None
+    return max(0.0, remaining_ms / 1000.0)
+
+
+@dataclass
+class ReplicaHealth:
+    """Cumulative outcome counters for one physical copy of a shard."""
+
+    shard_id: int
+    replica_id: int
+    requests: int = 0
+    successes: int = 0
+    transient_failures: int = 0
+    hard_failures: int = 0
+    skipped_open: int = 0      # attempts rejected by this copy's open breaker
+    ewma_ms: float = 0.0       # smoothed read latency (0 until first success)
+
+
+class _HedgedFailure(Exception):
+    """Internal: both legs of a hedged read failed; carries per-replica reasons."""
+
+    def __init__(self, reasons: Dict[int, str]):
+        self.reasons = reasons
+        super().__init__(f"hedged read failed on replicas {sorted(reasons)}")
+
+
+class ReplicaSet:
+    """R replicas of one logical shard, speaking the shard read protocol."""
+
+    def __init__(
+        self,
+        replicas: List,
+        shard_id: int,
+        policy: Optional[ResiliencePolicy] = None,
+        clock: Clock = MONOTONIC,
+        hedge: Optional[HedgePolicy] = None,
+        registry=None,
+    ):
+        if not replicas:
+            raise ValueError("a replica set needs at least one replica")
+        self._replicas = list(replicas)
+        self.shard_id = shard_id
+        self._policy = policy if policy is not None else DEFAULT_POLICY
+        self._clock = clock
+        self._hedge = hedge
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._health = [
+            ReplicaHealth(shard_id=shard_id, replica_id=replica_id)
+            for replica_id in range(len(self._replicas))
+        ]
+        self.breakers: List[CircuitBreaker] = [
+            CircuitBreaker(
+                threshold=self._policy.breaker_threshold,
+                window=self._policy.breaker_window,
+                min_calls=self._policy.breaker_min_calls,
+                cooldown_ms=self._policy.breaker_cooldown_ms,
+                clock=clock,
+            )
+            for _ in self._replicas
+        ]
+        self.failovers = 0
+        self.hedges_fired = 0
+        self.hedges_won = 0
+        self.hedges_wasted = 0
+        self._samples: deque = deque(
+            maxlen=hedge.window if hedge is not None else 128
+        )
+
+    @classmethod
+    def grow(
+        cls,
+        primary,
+        count: int,
+        shard_id: int,
+        policy: Optional[ResiliencePolicy] = None,
+        clock: Clock = MONOTONIC,
+        hedge: Optional[HedgePolicy] = None,
+        registry=None,
+    ) -> "ReplicaSet":
+        """Bootstrap ``count - 1`` verified copies of ``primary`` and wrap
+        all ``count`` behind one set (see :mod:`repro.replication.bootstrap`)."""
+        copies = bootstrap_replicas(primary, count)
+        return cls([primary, *copies], shard_id, policy=policy, clock=clock,
+                   hedge=hedge, registry=registry)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def replicas(self) -> List:
+        """The physical copies, replica order (0 is the primary)."""
+        return self._replicas
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def hedge_policy(self) -> Optional[HedgePolicy]:
+        return self._hedge
+
+    def health_rows(self) -> List[Dict]:
+        """Per-replica health dicts (the HealthBoard snapshot contract)."""
+        with self._lock:
+            rows = []
+            for replica_id, health in enumerate(self._health):
+                rows.append({
+                    "shard_id": self.shard_id,
+                    "replica_id": replica_id,
+                    "requests": health.requests,
+                    "successes": health.successes,
+                    "transient_failures": health.transient_failures,
+                    "hard_failures": health.hard_failures,
+                    "retries": 0,
+                    "skipped_open": health.skipped_open,
+                    "deadline_drops": 0,
+                    "breaker": self.breakers[replica_id].state,
+                    "ewma_ms": health.ewma_ms,
+                })
+            return rows
+
+    def __repr__(self) -> str:
+        states = ",".join(breaker.state for breaker in self.breakers)
+        return (
+            f"ReplicaSet(shard={self.shard_id}, replicas={self.num_replicas}, "
+            f"breakers=[{states}], failovers={self.failovers}, "
+            f"hedges={self.hedges_fired})"
+        )
+
+    def __getattr__(self, name: str):
+        # Control-plane pass-through to the raw primary copy: keeps the
+        # durability CLI (``wal``/``recovery``/``snapshot_path``) and other
+        # shard-introspection callers working through the wrapper.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._raw(self._replicas[0]), name)
+
+    @staticmethod
+    def _raw(replica):
+        """Unwrap a chaos proxy (mutations and control reads skip chaos)."""
+        return getattr(replica, "inner", replica)
+
+    # ------------------------------------------------------------------
+    # Control plane (no failover — identical on every copy by invariant)
+    # ------------------------------------------------------------------
+    @property
+    def relation(self):
+        return self._raw(self._replicas[0]).relation
+
+    @property
+    def ordering(self):
+        return self._raw(self._replicas[0]).ordering
+
+    @property
+    def backend(self) -> str:
+        return self._raw(self._replicas[0]).backend
+
+    @property
+    def dewey(self):
+        return self._raw(self._replicas[0]).dewey
+
+    @property
+    def depth(self) -> int:
+        return self._raw(self._replicas[0]).depth
+
+    @property
+    def epoch(self) -> int:
+        return self._raw(self._replicas[0]).epoch
+
+    def __len__(self) -> int:
+        return len(self._raw(self._replicas[0]))
+
+    def memory_stats(self) -> dict:
+        """Deployment-truthful accounting: every copy is resident memory."""
+        lists = postings = total_bytes = 0
+        for replica in self._replicas:
+            stats = self._raw(replica).memory_stats()
+            lists += stats["lists"]
+            postings += stats["postings"]
+            total_bytes += stats["bytes"]
+        return {
+            "backend": self.backend,
+            "lists": lists,
+            "postings": postings,
+            "bytes": total_bytes,
+            "bytes_per_posting": (total_bytes / postings) if postings else 0.0,
+            "replicas": self.num_replicas,
+        }
+
+    # ------------------------------------------------------------------
+    # Data-path reads: failover (+ optional hedging)
+    # ------------------------------------------------------------------
+    def scalar_postings(self, attribute: str, value: Any):
+        return self._read(
+            "scalar_postings",
+            lambda replica: replica.scalar_postings(attribute, value),
+        )
+
+    def token_postings(self, attribute: str, token: str):
+        return self._read(
+            "token_postings",
+            lambda replica: replica.token_postings(attribute, token),
+        )
+
+    def all_postings(self):
+        return self._read("all_postings", lambda replica: replica.all_postings())
+
+    def vocabulary(self, attribute: str) -> list:
+        return self._read(
+            "vocabulary", lambda replica: replica.vocabulary(attribute)
+        )
+
+    def _selection_order(self) -> List[int]:
+        """Preference order: closed breakers before open ones, then lowest
+        EWMA latency, then replica id (the deterministic tiebreak that keeps
+        unhedged fault-free runs pinned to the primary)."""
+        with self._lock:
+            latencies = [health.ewma_ms for health in self._health]
+        return sorted(
+            range(len(self._replicas)),
+            key=lambda rid: (self.breakers[rid].state == OPEN, latencies[rid], rid),
+        )
+
+    def _read(self, operation: str, call: Callable):
+        candidates = deque(self._selection_order())
+        reasons: Dict[int, str] = {}
+        hedged = False
+        while candidates:
+            replica_id = candidates.popleft()
+            if not self.breakers[replica_id].allow():
+                with self._lock:
+                    self._health[replica_id].skipped_open += 1
+                reasons[replica_id] = "circuit open"
+                continue
+            use_hedge = (
+                self._hedge is not None and not hedged and bool(candidates)
+            )
+            try:
+                if use_hedge:
+                    hedged = True  # at most one backup per shard read
+                    return self._call_hedged(operation, replica_id, call,
+                                             candidates)
+                return self._call(operation, replica_id, call)
+            except TransientShardError:
+                reasons[replica_id] = "transient"
+            except ShardCrashedError:
+                reasons[replica_id] = "crashed"
+            except _HedgedFailure as failure:
+                reasons.update(failure.reasons)
+                for rid in failure.reasons:
+                    if rid in candidates:
+                        candidates.remove(rid)
+            self._count_failovers(1)
+        return self._raise_exhausted(operation, reasons)
+
+    def _raise_exhausted(self, operation: str, reasons: Dict[int, str]):
+        detail = ", ".join(
+            f"replica {rid}: {reason}" for rid, reason in sorted(reasons.items())
+        )
+        message = (
+            f"all {self.num_replicas} replicas of shard {self.shard_id} "
+            f"failed during {operation!r} ({detail})"
+        )
+        if any(reason == "transient" for reason in reasons.values()):
+            # A transient-anywhere loss is worth the engine's retry budget:
+            # the next attempt re-enters the failover loop from the top.
+            raise TransientShardError(self.shard_id, operation, message=message)
+        raise ShardCrashedError(self.shard_id, operation, message=message)
+
+    def _call(self, operation: str, replica_id: int, call: Callable):
+        """One timed, health-recorded read against one copy."""
+        health = self._health[replica_id]
+        breaker = self.breakers[replica_id]
+        with self._lock:
+            health.requests += 1
+        started = self._clock()
+        try:
+            value = call(self._replicas[replica_id])
+        except TransientShardError:
+            with self._lock:
+                health.transient_failures += 1
+            breaker.record_failure()
+            raise
+        except ShardCrashedError:
+            with self._lock:
+                health.hard_failures += 1
+            breaker.record_failure()
+            raise
+        elapsed_ms = (self._clock() - started) * 1000.0
+        with self._lock:
+            health.successes += 1
+            if health.successes == 1:
+                health.ewma_ms = elapsed_ms
+            else:
+                health.ewma_ms += _EWMA_ALPHA * (elapsed_ms - health.ewma_ms)
+            self._samples.append(elapsed_ms)
+        breaker.record_success()
+        return value
+
+    # ------------------------------------------------------------------
+    # Hedged reads
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=min(4, self.num_replicas + 1),
+                    thread_name_prefix=f"repro-hedge-{self.shard_id}",
+                )
+            return self._pool
+
+    def _call_hedged(self, operation: str, primary_id: int, call: Callable,
+                     candidates) -> Any:
+        """First attempt with a backup racer: primary now, next-best replica
+        after the hedge delay, first response wins, loser cancelled."""
+        deadline = current_deadline()
+        remaining_s = _remaining_seconds(deadline)
+        delay_s = self._hedge.delay_seconds(list(self._samples))
+        if remaining_s is not None:
+            delay_s = min(delay_s, remaining_s)
+        pool = self._ensure_pool()
+        primary_future = pool.submit(self._call, operation, primary_id, call)
+        try:
+            return primary_future.result(timeout=delay_s)
+        except FutureTimeoutError:
+            pass  # primary is slow: hedge
+        except TransientShardError:
+            raise _HedgedFailure({primary_id: "transient"}) from None
+        except ShardCrashedError:
+            raise _HedgedFailure({primary_id: "crashed"}) from None
+        backup_id = next(
+            (rid for rid in candidates if self.breakers[rid].allow()), None
+        )
+        if backup_id is None:
+            # Nowhere to hedge to: just wait the primary out.
+            return self._await_leg(primary_future, primary_id, deadline)
+        with self._lock:
+            self.hedges_fired += 1
+        self._count_hedge("fired")
+        backup_future = pool.submit(self._call, operation, backup_id, call)
+        futures = {primary_future: primary_id, backup_future: backup_id}
+        reasons: Dict[int, str] = {}
+        while futures:
+            timeout = _remaining_seconds(deadline)
+            done, _ = wait(set(futures), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+            if not done:
+                # Deadline expired with both legs in flight: abandon them
+                # (their health outcomes land when they finish) and let the
+                # engine's deadline machinery classify the loss.
+                for future in futures:
+                    future.cancel()
+                reasons.update(
+                    (rid, "transient") for rid in futures.values()
+                )
+                raise _HedgedFailure(reasons)
+            for future in done:
+                replica_id = futures.pop(future)
+                try:
+                    value = future.result()
+                except TransientShardError:
+                    reasons[replica_id] = "transient"
+                except ShardCrashedError:
+                    reasons[replica_id] = "crashed"
+                else:
+                    if replica_id == backup_id:
+                        with self._lock:
+                            self.hedges_won += 1
+                        self._count_hedge("won")
+                    else:
+                        with self._lock:
+                            self.hedges_wasted += 1
+                        self._count_hedge("wasted")
+                    for loser in futures:
+                        loser.cancel()  # best-effort; a running leg drains
+                    return value
+        raise _HedgedFailure(reasons)
+
+    def _await_leg(self, future, replica_id: int, deadline) -> Any:
+        timeout = _remaining_seconds(deadline)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise _HedgedFailure({replica_id: "transient"}) from None
+        except TransientShardError:
+            raise _HedgedFailure({replica_id: "transient"}) from None
+        except ShardCrashedError:
+            raise _HedgedFailure({replica_id: "crashed"}) from None
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _metrics(self):
+        return self._registry if self._registry is not None else get_registry()
+
+    def _count_failovers(self, count: int) -> None:
+        with self._lock:
+            self.failovers += count
+        self._metrics().counter(
+            "repro_replica_failovers_total",
+            "Reads that moved past a failed/skipped replica, by shard",
+            shard=str(self.shard_id),
+        ).inc(count)
+
+    def _count_hedge(self, outcome: str) -> None:
+        self._metrics().counter(
+            "repro_replica_hedges_total",
+            "Hedged backup reads by outcome (fired / won / wasted)",
+            outcome=outcome,
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # Mutations: forward to every copy, assert convergence
+    # ------------------------------------------------------------------
+    def insert(self, rid: int):
+        primary = self._raw(self._replicas[0])
+        dewey = primary.insert(rid)
+        for replica_id in range(1, self.num_replicas):
+            follower = self._raw(self._replicas[replica_id])
+            mirrored = follower.insert(rid)
+            if mirrored != dewey:
+                raise ReplicaDivergenceError(
+                    self.shard_id,
+                    f"replica {replica_id} assigned rid {rid} Dewey "
+                    f"{list(mirrored)} != primary's {list(dewey)}",
+                )
+        self._check_converged("insert", rid)
+        return dewey
+
+    def remove(self, rid: int):
+        primary = self._raw(self._replicas[0])
+        shared = primary.dewey
+        if rid not in shared:
+            return None
+        dewey = shared.dewey_of(rid)
+        if dewey not in primary.all_postings():
+            return None  # not this shard's row (shared global Dewey space)
+        removed = primary.remove(rid)
+        if removed is None:
+            return None
+        for replica_id in range(1, self.num_replicas):
+            # The primary's remove retired the shared Dewey assignment;
+            # followers mirror only the posting-list effect.
+            self._raw(self._replicas[replica_id]).remove_mirrored(rid, dewey)
+        self._check_converged("remove", rid)
+        return removed
+
+    def _check_converged(self, operation: str, rid: int) -> None:
+        epochs = [
+            self._raw(replica).epoch for replica in self._replicas
+        ]
+        if len(set(epochs)) != 1:
+            raise ReplicaDivergenceError(
+                self.shard_id,
+                f"epochs {epochs} disagree after {operation}(rid={rid})",
+            )
+        lengths = [len(self._raw(replica)) for replica in self._replicas]
+        if len(set(lengths)) != 1:
+            raise ReplicaDivergenceError(
+                self.shard_id,
+                f"posting counts {lengths} disagree after {operation}(rid={rid})",
+            )
+
+    # ------------------------------------------------------------------
+    # Chaos (per-replica addressing) and lifecycle
+    # ------------------------------------------------------------------
+    def inject_chaos(self, chaos) -> None:
+        """Wrap every copy in a replica-addressed chaos proxy."""
+        from ..resilience.chaos import FaultyShard
+
+        self.clear_chaos()
+        self._replicas = [
+            FaultyShard(replica, self.shard_id, chaos, replica_id=replica_id)
+            for replica_id, replica in enumerate(self._replicas)
+        ]
+
+    def clear_chaos(self) -> None:
+        self._replicas = [self._raw(replica) for replica in self._replicas]
+
+    @property
+    def chaos(self):
+        """The active :class:`ChaosPolicy`, or ``None`` when uninjected."""
+        return getattr(self._replicas[0], "chaos", None)
+
+    def close(self) -> None:
+        """Release the hedge pool and close closeable replicas (durable
+        primaries sync + release their WAL handles)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        for replica in self._replicas:
+            raw = self._raw(replica)
+            closer = getattr(raw, "close", None)
+            if callable(closer):
+                closer()
+
+    def close_pool(self) -> None:
+        """Release only the hedge thread pool (engine shutdown path; the
+        serving layer closes the replicas themselves via :meth:`close`)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)

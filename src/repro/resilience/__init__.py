@@ -28,13 +28,20 @@ from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .chaos import ChaosPolicy, FaultyShard, ShardFaultSpec
 from .errors import (
     DeadlineExceededError,
+    ReplicaDivergenceError,
     ResilienceError,
     ShardCrashedError,
     ShardUnavailableError,
     TransientShardError,
 )
 from .health import HealthBoard, ShardHealth
-from .policy import DEFAULT_POLICY, Deadline, ResiliencePolicy
+from .policy import (
+    DEFAULT_POLICY,
+    Deadline,
+    ResiliencePolicy,
+    current_deadline,
+    deadline_scope,
+)
 
 __all__ = [
     "CLOSED",
@@ -47,6 +54,7 @@ __all__ = [
     "DeadlineExceededError",
     "FaultyShard",
     "HealthBoard",
+    "ReplicaDivergenceError",
     "ResilienceError",
     "ResiliencePolicy",
     "ShardCrashedError",
@@ -54,4 +62,6 @@ __all__ = [
     "ShardHealth",
     "ShardUnavailableError",
     "TransientShardError",
+    "current_deadline",
+    "deadline_scope",
 ]

@@ -1,9 +1,9 @@
 """Deterministic fault injection for shard reads.
 
-:class:`ChaosPolicy` decides, per shard and per read, whether to inject
-latency, a transient error, or a hard crash — from a seeded RNG, so every
-chaos run is exactly reproducible (the chaos differential suite relies on
-this: same seed, same faults, same retries, same answers).
+:class:`ChaosPolicy` decides, per shard replica and per read, whether to
+inject latency, a transient error, or a hard crash — from a seeded RNG, so
+every chaos run is exactly reproducible (the chaos differential suite
+relies on this: same seed, same faults, same retries, same answers).
 
 :class:`FaultyShard` wraps one per-shard :class:`~repro.index.inverted
 .InvertedIndex` behind the same read protocol and consults the policy on
@@ -12,6 +12,18 @@ operations that would be RPCs in a real deployment).  Mutations and
 control-plane reads (``epoch``, ``len``) pass through untouched: chaos
 models a flaky data path, not a corrupted one, and the serving caches must
 keep observing true epochs while shards misbehave.
+
+Fault plans address either a whole logical shard (an ``int`` key: every
+replica of that shard suffers) or one specific copy (a ``(shard,
+replica)`` key, which takes precedence) — that is how the replication
+suite kills a minority of replicas and asserts answers stay exact.
+
+Injected latency sleeps through an *injectable* sleep (the PR 5
+``observability.clock`` idiom): unset, it wall-sleeps; the sharded engine
+binds its own ``sleep`` on injection, so chaos latency on a
+:class:`~repro.observability.FakeClock` advances the fake timeline —
+consuming deadline budget exactly like retry backoff — without ever
+blocking the test process.
 
 Wiring: ``ShardedIndex.inject_chaos(policy)`` wraps every shard in place,
 ``clear_chaos()`` unwraps; the CLI exposes the same via ``--chaos-*``.
@@ -23,9 +35,12 @@ import random
 import threading
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple, Union
 
 from .errors import ShardCrashedError, TransientShardError
+
+#: A fault-plan key: a logical shard (all replicas) or one specific copy.
+ChaosAddress = Union[int, Tuple[int, int]]
 
 
 @dataclass(frozen=True)
@@ -43,28 +58,41 @@ class ShardFaultSpec:
             raise ValueError("transient_rate must be in [0, 1]")
 
 
-class ChaosPolicy:
-    """Seeded per-shard fault plan, consulted on every shard read.
+def _normalise_address(address: ChaosAddress) -> ChaosAddress:
+    if isinstance(address, tuple):
+        shard, replica = address
+        return (int(shard), int(replica))
+    return int(address)
 
-    ``default`` applies to every shard not named in ``per_shard``.  The
-    policy is mutable at runtime — :meth:`crash`/:meth:`revive` flip a
-    shard mid-workload, which is how the tests kill a shard under a warm
-    cache — and keeps exact injection counters per shard.
+
+class ChaosPolicy:
+    """Seeded per-replica fault plan, consulted on every shard read.
+
+    ``default`` applies to every address not named in ``per_shard``, whose
+    keys are shard ids (``int`` — the fault hits every replica of that
+    shard) or ``(shard, replica)`` pairs (one copy only; the more specific
+    key wins).  The policy is mutable at runtime — :meth:`crash`/
+    :meth:`revive` flip a shard or a single replica mid-workload, which is
+    how the tests kill copies under a warm cache — and keeps exact
+    injection counters.
     """
 
     def __init__(
         self,
         seed: int = 0,
         default: Optional[ShardFaultSpec] = None,
-        per_shard: Optional[Dict[int, ShardFaultSpec]] = None,
-        sleep=time.sleep,
+        per_shard: Optional[Dict[ChaosAddress, ShardFaultSpec]] = None,
+        sleep=None,
     ):
         self._seed = seed
         self._default = default if default is not None else ShardFaultSpec()
-        self._per_shard: Dict[int, ShardFaultSpec] = dict(per_shard or {})
+        self._per_shard: Dict[ChaosAddress, ShardFaultSpec] = {
+            _normalise_address(address): spec
+            for address, spec in (per_shard or {}).items()
+        }
         self._sleep = sleep
         self._lock = threading.Lock()
-        self._rngs: Dict[int, random.Random] = {}
+        self._rngs: Dict[Tuple[int, Optional[int]], random.Random] = {}
         self.injected: Dict[str, int] = {"latency": 0, "transient": 0, "crash": 0}
 
     # ------------------------------------------------------------------
@@ -76,60 +104,103 @@ class ChaosPolicy:
         return cls(seed=seed, default=ShardFaultSpec(transient_rate=rate))
 
     @classmethod
-    def crash_shards(cls, *shard_ids: int, seed: int = 0) -> "ChaosPolicy":
-        """Hard-kill the named shards; everything else is healthy."""
+    def crash_shards(cls, *addresses: ChaosAddress, seed: int = 0) -> "ChaosPolicy":
+        """Hard-kill the named shards (ints) or single replicas (``(shard,
+        replica)`` pairs); everything else is healthy."""
         return cls(
             seed=seed,
-            per_shard={shard: ShardFaultSpec(crashed=True) for shard in shard_ids},
+            per_shard={
+                address: ShardFaultSpec(crashed=True) for address in addresses
+            },
         )
 
     @classmethod
-    def slow_shards(cls, latency_ms: float, *shard_ids: int,
+    def slow_shards(cls, latency_ms: float, *addresses: ChaosAddress,
                     seed: int = 0) -> "ChaosPolicy":
-        """Add fixed latency to the named shards (all shards when none given)."""
+        """Add fixed latency to the named addresses (everywhere when none
+        given)."""
         spec = ShardFaultSpec(latency_ms=latency_ms)
-        if not shard_ids:
+        if not addresses:
             return cls(seed=seed, default=spec)
-        return cls(seed=seed, per_shard={shard: spec for shard in shard_ids})
+        return cls(seed=seed, per_shard={address: spec for address in addresses})
 
     # ------------------------------------------------------------------
     # Runtime control
     # ------------------------------------------------------------------
-    def spec_for(self, shard_id: int) -> ShardFaultSpec:
+    def bind_sleep(self, sleep) -> None:
+        """Adopt an injectable sleep unless one was set at construction.
+
+        The engine calls this on injection so chaos latency runs on the
+        same (possibly fake) timeline as its deadlines and backoff.
+        """
+        if self._sleep is None:
+            self._sleep = sleep
+
+    def spec_for(self, shard_id: int,
+                 replica_id: Optional[int] = None) -> ShardFaultSpec:
+        """The effective fault spec for one copy: ``(shard, replica)`` key
+        first, then the whole-shard key, then the default."""
         with self._lock:
+            if replica_id is not None:
+                spec = self._per_shard.get((shard_id, replica_id))
+                if spec is not None:
+                    return spec
             return self._per_shard.get(shard_id, self._default)
 
-    def set_spec(self, shard_id: int, spec: ShardFaultSpec) -> None:
+    def set_spec(self, address: ChaosAddress, spec: ShardFaultSpec) -> None:
         with self._lock:
-            self._per_shard[shard_id] = spec
+            self._per_shard[_normalise_address(address)] = spec
 
-    def crash(self, shard_id: int) -> None:
-        """Hard-kill one shard from now on (its other faults are kept)."""
-        with self._lock:
-            spec = self._per_shard.get(shard_id, self._default)
-            self._per_shard[shard_id] = replace(spec, crashed=True)
+    def _address(self, shard_id: int,
+                 replica_id: Optional[int]) -> ChaosAddress:
+        if replica_id is None:
+            return int(shard_id)
+        return (int(shard_id), int(replica_id))
 
-    def revive(self, shard_id: int) -> None:
-        """Bring a killed shard back."""
+    def crash(self, shard_id: int, replica_id: Optional[int] = None) -> None:
+        """Hard-kill one shard — or just one replica of it — from now on
+        (other configured faults at that address are kept)."""
+        address = self._address(shard_id, replica_id)
         with self._lock:
-            spec = self._per_shard.get(shard_id, self._default)
-            self._per_shard[shard_id] = replace(spec, crashed=False)
+            spec = self._per_shard.get(address)
+            if spec is None and replica_id is not None:
+                spec = self._per_shard.get(int(shard_id))
+            if spec is None:
+                spec = self._default
+            self._per_shard[address] = replace(spec, crashed=True)
+
+    def revive(self, shard_id: int, replica_id: Optional[int] = None) -> None:
+        """Bring a killed shard (or single replica) back."""
+        address = self._address(shard_id, replica_id)
+        with self._lock:
+            spec = self._per_shard.get(address)
+            if spec is None and replica_id is not None:
+                spec = self._per_shard.get(int(shard_id))
+            if spec is None:
+                spec = self._default
+            self._per_shard[address] = replace(spec, crashed=False)
 
     # ------------------------------------------------------------------
     # Injection (called by FaultyShard on every read)
     # ------------------------------------------------------------------
-    def _rng(self, shard_id: int) -> random.Random:
-        rng = self._rngs.get(shard_id)
+    def _rng(self, shard_id: int,
+             replica_id: Optional[int] = None) -> random.Random:
+        key = (shard_id, replica_id)
+        rng = self._rngs.get(key)
         if rng is None:
-            # Independent deterministic stream per shard: the fault pattern
-            # one shard sees never depends on traffic to another.
-            rng = self._rngs[shard_id] = random.Random(
-                self._seed * 2654435761 + shard_id
-            )
+            # Independent deterministic stream per copy: the fault pattern
+            # one replica sees never depends on traffic to another.  The
+            # replica-less stream keeps the pre-replication seeds, so the
+            # original chaos differential runs are bit-for-bit unchanged.
+            stream = self._seed * 2654435761 + shard_id
+            if replica_id is not None:
+                stream = stream * 1000003 + replica_id + 1
+            rng = self._rngs[key] = random.Random(stream)
         return rng
 
-    def before_read(self, shard_id: int, operation: str) -> None:
-        spec = self.spec_for(shard_id)
+    def before_read(self, shard_id: int, operation: str,
+                    replica_id: Optional[int] = None) -> None:
+        spec = self.spec_for(shard_id, replica_id)
         if spec.crashed:
             with self._lock:
                 self.injected["crash"] += 1
@@ -137,10 +208,11 @@ class ChaosPolicy:
         if spec.latency_ms > 0.0:
             with self._lock:
                 self.injected["latency"] += 1
-            self._sleep(spec.latency_ms / 1000.0)
+                sleep = self._sleep if self._sleep is not None else time.sleep
+            sleep(spec.latency_ms / 1000.0)
         if spec.transient_rate > 0.0:
             with self._lock:
-                flake = self._rng(shard_id).random() < spec.transient_rate
+                flake = self._rng(shard_id, replica_id).random() < spec.transient_rate
                 if flake:
                     self.injected["transient"] += 1
             if flake:
@@ -158,14 +230,18 @@ class FaultyShard:
 
     Only the data-path reads go through :meth:`ChaosPolicy.before_read`;
     mutations (``insert``/``remove``) and control-plane attributes
-    (``epoch``, ``len``, ``relation`` …) delegate untouched.
+    (``epoch``, ``len``, ``relation`` …) delegate untouched.  ``replica_id``
+    names which copy of the shard this proxy fronts (``None`` outside a
+    replicated deployment) so the policy can target single replicas.
     """
 
-    __slots__ = ("_inner", "shard_id", "chaos")
+    __slots__ = ("_inner", "shard_id", "replica_id", "chaos")
 
-    def __init__(self, inner, shard_id: int, chaos: ChaosPolicy):
+    def __init__(self, inner, shard_id: int, chaos: ChaosPolicy,
+                 replica_id: Optional[int] = None):
         self._inner = inner
         self.shard_id = shard_id
+        self.replica_id = replica_id
         self.chaos = chaos
 
     @property
@@ -205,23 +281,27 @@ class FaultyShard:
         return self._inner.memory_stats()
 
     def __repr__(self) -> str:
-        return f"FaultyShard({self.shard_id}, {self._inner!r})"
+        if self.replica_id is None:
+            return f"FaultyShard({self.shard_id}, {self._inner!r})"
+        return (
+            f"FaultyShard({self.shard_id}/r{self.replica_id}, {self._inner!r})"
+        )
 
     # ---- data-path reads: injected ---------------------------------
     def scalar_postings(self, attribute: str, value: Any):
-        self.chaos.before_read(self.shard_id, "scalar_postings")
+        self.chaos.before_read(self.shard_id, "scalar_postings", self.replica_id)
         return self._inner.scalar_postings(attribute, value)
 
     def token_postings(self, attribute: str, token: str):
-        self.chaos.before_read(self.shard_id, "token_postings")
+        self.chaos.before_read(self.shard_id, "token_postings", self.replica_id)
         return self._inner.token_postings(attribute, token)
 
     def all_postings(self):
-        self.chaos.before_read(self.shard_id, "all_postings")
+        self.chaos.before_read(self.shard_id, "all_postings", self.replica_id)
         return self._inner.all_postings()
 
     def vocabulary(self, attribute: str) -> list:
-        self.chaos.before_read(self.shard_id, "vocabulary")
+        self.chaos.before_read(self.shard_id, "vocabulary", self.replica_id)
         return self._inner.vocabulary(attribute)
 
     # ---- mutations: no injection (routing must stay reliable) ------

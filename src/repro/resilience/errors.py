@@ -78,6 +78,24 @@ class ShardUnavailableError(ResilienceError):
         return sorted(self.failures)
 
 
+class ReplicaDivergenceError(ResilienceError):
+    """Replicas of one shard disagree after a forwarded mutation.
+
+    Replication (:mod:`repro.replication`) keeps every copy bit-identical
+    by forwarding mutations to all replicas and checking epoch/Dewey
+    agreement afterwards; any disagreement means a copy silently dropped
+    or corrupted a write and must not keep serving reads as if exact.
+    """
+
+    def __init__(self, shard_id: int, detail: str,
+                 message: Optional[str] = None):
+        self.shard_id = shard_id
+        self.detail = detail
+        super().__init__(
+            message or f"replicas of shard {shard_id} diverged: {detail}"
+        )
+
+
 class DeadlineExceededError(ResilienceError):
     """The per-query deadline budget expired before any answer was ready."""
 

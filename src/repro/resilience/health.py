@@ -8,13 +8,22 @@ open-circuit skips) and one :class:`~repro.resilience.breaker
 :class:`~repro.resilience.policy.ResiliencePolicy`.  The fan-out consults
 :meth:`HealthBoard.allow` before dispatching to a shard, which is how a
 persistently failing shard stops costing deadline budget.
+
+With replication (:mod:`repro.replication`) each logical shard row is the
+*coordinator's* view — what the fan-out observed after replica failover —
+while every physical copy keeps its own counters, breaker and latency
+estimate inside its :class:`~repro.replication.ReplicaSet`.
+:meth:`HealthBoard.snapshot` surfaces both: logical rows carry
+``replica_id=None``, per-replica rows carry the ``(shard, replica)``
+address, so failover decisions are observable per copy instead of being
+flattened into one shard counter.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from .breaker import CircuitBreaker
 from .policy import ResiliencePolicy
@@ -59,6 +68,7 @@ class HealthBoard:
             )
             for _ in range(num_shards)
         ]
+        self._replica_source: Optional[Callable[[], list]] = None
 
     def __len__(self) -> int:
         return len(self._shards)
@@ -98,6 +108,27 @@ class HealthBoard:
         self._shards[shard_id].deadline_drops += 1
 
     # ------------------------------------------------------------------
+    # Replica visibility
+    # ------------------------------------------------------------------
+    def bind_replica_source(self, source: Callable[[], list]) -> None:
+        """Attach a provider of the current shard objects (the engine binds
+        its index's ``shards`` list).  Evaluated lazily at snapshot time, so
+        replication attached *after* engine construction — the serving
+        layer replicates post-durability — is still observed."""
+        self._replica_source = source
+
+    def replica_rows(self) -> List[Dict]:
+        """Per-replica health rows from every attached ReplicaSet."""
+        if self._replica_source is None:
+            return []
+        rows: List[Dict] = []
+        for shard in self._replica_source():
+            health_rows = getattr(shard, "health_rows", None)
+            if callable(health_rows):
+                rows.extend(health_rows())
+        return rows
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def open_shards(self) -> List[int]:
@@ -109,11 +140,23 @@ class HealthBoard:
         ]
 
     def snapshot(self) -> List[Dict]:
-        """Per-shard health as plain dicts (for CLI/bench reporting)."""
-        return [
-            {**asdict(health), "breaker": self.breakers[shard].state}
+        """Per-shard and per-replica health as plain dicts.
+
+        Logical rows (the coordinator's post-failover view) carry
+        ``replica_id=None``; replicated deployments append one row per
+        physical copy with its ``(shard_id, replica_id)`` address, its own
+        breaker state and its EWMA read latency.
+        """
+        rows = [
+            {
+                **asdict(health),
+                "replica_id": None,
+                "breaker": self.breakers[shard].state,
+            }
             for shard, health in enumerate(self._shards)
         ]
+        rows.extend(self.replica_rows())
+        return rows
 
     def __repr__(self) -> str:
         states = ",".join(breaker.state for breaker in self.breakers)

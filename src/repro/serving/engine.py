@@ -164,6 +164,8 @@ class ServingEngine:
         snapshot_every: int = 0,
         fsync_every: int = 1,
         clock: Clock = MONOTONIC,
+        replicas: int = 1,
+        hedge_ms=None,
         **cache_options,
     ) -> "ServingEngine":
         """Build a serving engine; ``shards > 1`` builds a sharded deployment.
@@ -182,7 +184,17 @@ class ServingEngine:
         store's log reaches that many records; ``fsync_every`` batches WAL
         fsyncs (1 = every record).  Use :meth:`recover` to reopen the
         directory after a crash or restart.
+
+        ``replicas`` > 1 (sharded deployments only) grows every shard to
+        that many bit-identical copies behind automatic failover —
+        *after* durability wrapping, so only replica 0 of each shard owns
+        the WAL and the other copies bootstrap from its snapshot + log;
+        ``hedge_ms`` additionally arms hedged reads
+        (:mod:`repro.replication`).
         """
+        if replicas > 1 and shards <= 1:
+            raise ValueError("replication needs a sharded deployment "
+                             "(shards > 1)")
         if shards > 1:
             from ..sharding import ShardedEngine
 
@@ -196,7 +208,15 @@ class ServingEngine:
                 create_sharded_store(
                     engine.index, data_dir,
                     snapshot_every=snapshot_every, fsync_every=fsync_every,
+                    replicas=replicas,
                 )
+            if replicas > 1:
+                from ..replication import HedgePolicy
+
+                hedge = (HedgePolicy(delay_ms=hedge_ms)
+                         if hedge_ms is not None else None)
+                engine.index.replicate(replicas, policy=policy, clock=clock,
+                                       hedge=hedge)
         else:
             engine = DiversityEngine.from_relation(relation, ordering, backend=backend)
             if data_dir is not None:
@@ -218,6 +238,8 @@ class ServingEngine:
         snapshot_every: Optional[int] = None,
         fsync_every: Optional[int] = None,
         cache: Optional[ServingCache] = None,
+        replicas: Optional[int] = None,
+        hedge_ms=None,
         **cache_options,
     ) -> "ServingEngine":
         """Resurrect a serving engine from a durable data directory.
@@ -228,6 +250,11 @@ class ServingEngine:
         process had acknowledged, so passing the previous process's
         ``cache`` (e.g. an external cache tier) keeps its warm entries
         valid — epoch-keyed invalidation carries across the restart.
+
+        ``replicas=None`` re-replicates a sharded deployment to the factor
+        recorded in its manifest (replica copies are never persisted —
+        each is re-bootstrapped from its shard's snapshot + WAL); pass an
+        explicit count to grow or shrink the factor across the restart.
         """
         from ..durability import DurableIndex, recover
 
@@ -238,6 +265,16 @@ class ServingEngine:
         else:
             from ..sharding import ShardedEngine
 
+            if replicas is None:
+                from ..durability.store import read_manifest
+
+                replicas = int(read_manifest(data_dir).get("replicas", 1))
+            if replicas > 1:
+                from ..replication import HedgePolicy
+
+                hedge = (HedgePolicy(delay_ms=hedge_ms)
+                         if hedge_ms is not None else None)
+                recovered.replicate(replicas, policy=policy, hedge=hedge)
             engine = ShardedEngine(recovered, workers=workers, policy=policy)
         if cache is None and cache_options:
             cache = ServingCache(**cache_options)

@@ -80,7 +80,7 @@ from ..resilience import (
     ShardUnavailableError,
     TransientShardError,
 )
-from ..resilience.policy import DEFAULT_POLICY
+from ..resilience.policy import DEFAULT_POLICY, deadline_scope
 from ..storage.relation import Relation
 from .merge import diverse_merge, merge_first_k, scored_diverse_merge
 from .router import ShardRouter
@@ -137,6 +137,36 @@ def _register_health_collector(registry, engine: "ShardedEngine"):
         gauge = registry.gauge
         for entry in target.health.snapshot():
             shard = str(entry["shard_id"])
+            if entry.get("replica_id") is not None:
+                # Physical-copy rows (replicated deployments): their own
+                # metric family, keyed {shard, replica} — the logical
+                # per-shard gauges below stay exactly as before.
+                replica = str(entry["replica_id"])
+                gauge("repro_replica_requests",
+                      "Reads attempted on the replica",
+                      shard=shard, replica=replica).set(entry["requests"])
+                gauge("repro_replica_successes",
+                      "Successful replica reads",
+                      shard=shard, replica=replica).set(entry["successes"])
+                gauge("repro_replica_transient_failures",
+                      "Transient replica faults observed",
+                      shard=shard, replica=replica
+                      ).set(entry["transient_failures"])
+                gauge("repro_replica_hard_failures",
+                      "Crashes / non-retryable replica errors",
+                      shard=shard, replica=replica).set(entry["hard_failures"])
+                gauge("repro_replica_skipped_open",
+                      "Reads rejected by the replica's open circuit",
+                      shard=shard, replica=replica).set(entry["skipped_open"])
+                gauge("repro_replica_breaker_open",
+                      "1 while the replica's circuit breaker is open",
+                      shard=shard, replica=replica
+                      ).set(1.0 if entry["breaker"] == "open" else 0.0)
+                gauge("repro_replica_ewma_latency_ms",
+                      "Smoothed replica read latency",
+                      shard=shard, replica=replica
+                      ).set(entry.get("ewma_ms", 0.0))
+                continue
             gauge("repro_shard_requests",
                   "Calls admitted to the shard", shard=shard
                   ).set(entry["requests"])
@@ -260,6 +290,11 @@ class ShardedEngine(DiversityEngine):
         self._clock = clock
         self._sleep = sleep
         self._health = HealthBoard(index.num_shards, self._policy, clock=clock)
+        # Lazy binding: replica rows appear in health snapshots as soon as
+        # the index is replicated, even when that happens after engine
+        # construction (the serving path replicates after wrapping shards
+        # in durable stores).
+        self._health.bind_replica_source(lambda: self._index.shards)
         self._retry_rng = random.Random(self._policy.seed)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._close_lock = threading.Lock()
@@ -279,11 +314,24 @@ class ShardedEngine(DiversityEngine):
         policy: Optional[ResiliencePolicy] = None,
         clock: Clock = MONOTONIC,
         sleep=time.sleep,
+        replicas: int = 1,
+        hedge_ms: Optional[float] = None,
     ) -> "ShardedEngine":
-        """Build the sharded index (offline step) and wrap it in an engine."""
+        """Build the sharded index (offline step) and wrap it in an engine.
+
+        ``replicas`` > 1 grows every shard to that many bit-identical
+        copies behind automatic failover; ``hedge_ms`` additionally arms
+        hedged reads with that cold-start delay (see
+        :mod:`repro.replication`).
+        """
         index = ShardedIndex.build(
             relation, ordering, shards=shards, backend=backend, router=router
         )
+        if replicas > 1:
+            from ..replication import HedgePolicy
+
+            hedge = HedgePolicy(delay_ms=hedge_ms) if hedge_ms is not None else None
+            index.replicate(replicas, policy=policy, clock=clock, hedge=hedge)
         return cls(index, cache=cache, workers=workers, policy=policy,
                    clock=clock, sleep=sleep)
 
@@ -308,6 +356,12 @@ class ShardedEngine(DiversityEngine):
             pool, self._pool = self._pool, None
             if pool is not None:
                 pool.shutdown(wait=True, cancel_futures=True)
+            for shard in self._index.shards:
+                # Release replica-set hedge pools; the replicas themselves
+                # (and their WALs) belong to the serving layer's close.
+                close_pool = getattr(shard, "close_pool", None)
+                if callable(close_pool):
+                    close_pool()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -355,6 +409,9 @@ class ShardedEngine(DiversityEngine):
     # ------------------------------------------------------------------
     def inject_chaos(self, chaos: ChaosPolicy) -> ChaosPolicy:
         """Make shard reads fail per ``chaos`` (tests/benchmarks/CLI)."""
+        # Latency injection sleeps on the engine's injectable sleep, so a
+        # FakeClock-driven test fakes chaos delays too (no real blocking).
+        chaos.bind_sleep(self._sleep)
         self._index.inject_chaos(chaos)
         return chaos
 
@@ -392,7 +449,11 @@ class ShardedEngine(DiversityEngine):
         attempts = 0
         while True:
             try:
-                return operation(), attempts
+                # The deadline scope lets layers below the index read
+                # protocol (a ReplicaSet timing a hedged backup read) see
+                # the remaining budget without widening the protocol.
+                with deadline_scope(deadline):
+                    return operation(), attempts
             except TransientShardError as error:
                 health.record_transient(error.shard_id)
                 if attempts >= policy.max_retries:
@@ -581,6 +642,7 @@ class ShardedEngine(DiversityEngine):
             degraded=False,
             shards_failed=0,
             shards_total=self.num_shards,
+            replicas=self._index.replication_factor,
             retries=reader.retries,
             deadline_ms=self._policy.deadline_ms or 0,
         )
@@ -611,7 +673,8 @@ class ShardedEngine(DiversityEngine):
                 return ShardOutcome(shard_id, reason="deadline", retries=attempts)
             health.record_admitted(shard_id)
             try:
-                value = task(shard)
+                with deadline_scope(deadline):
+                    value = task(shard)
             except TransientShardError:
                 health.record_transient(shard_id)
                 if attempts >= policy.max_retries:
@@ -778,6 +841,7 @@ class ShardedEngine(DiversityEngine):
             "degraded": bool(failed),
             "shards_failed": len(failed),
             "shards_total": self.num_shards,
+            "replicas": self._index.replication_factor,
             "retries": sum(outcome.retries for outcome in outcomes),
             "deadline_ms": self._policy.deadline_ms or 0,
         }

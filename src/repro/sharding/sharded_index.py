@@ -237,12 +237,69 @@ class ShardedIndex:
 
     @property
     def shards(self) -> List[InvertedIndex]:
-        """The shard indexes, in shard order (read access for fan-out)."""
+        """The shard slots, in shard order (read access for fan-out).
+
+        A slot is a bare :class:`~repro.index.inverted.InvertedIndex`, or a
+        :class:`~repro.durability.store.DurableIndex`, or — after
+        :meth:`replicate` — a :class:`~repro.replication.ReplicaSet`; all
+        speak the same read protocol.
+        """
         return self._shards
 
     @property
     def num_shards(self) -> int:
         return len(self._shards)
+
+    @property
+    def replication_factor(self) -> int:
+        """Copies per logical shard (1 until :meth:`replicate` is called)."""
+        from ..replication.replica_set import ReplicaSet
+
+        first = self._shards[0]
+        if isinstance(first, ReplicaSet):
+            return first.num_replicas
+        return 1
+
+    def replicate(
+        self,
+        count: int,
+        policy=None,
+        clock=None,
+        hedge=None,
+        registry=None,
+    ) -> None:
+        """Grow every logical shard to ``count`` bit-identical replicas.
+
+        Each shard slot is swapped in place for a
+        :class:`~repro.replication.ReplicaSet` wrapping the existing shard
+        (which becomes replica 0, keeping any durability wrapper and its
+        WAL) plus ``count - 1`` bootstrapped, sha256-verified copies — the
+        same in-place ``_shards`` idiom chaos injection and the durable
+        store use, so every reader through the index protocol picks up
+        failover transparently.  Replicate *after* durability wrapping and
+        *before* chaos injection.
+        """
+        from ..observability import MONOTONIC
+        from ..replication.replica_set import ReplicaSet
+
+        if count < 1:
+            raise ValueError("replica count must be >= 1")
+        if any(isinstance(shard, ReplicaSet) for shard in self._shards):
+            raise ValueError("index is already replicated")
+        if count == 1:
+            return
+        self._shards = [
+            ReplicaSet.grow(
+                shard,
+                count,
+                shard_id,
+                policy=policy,
+                clock=clock if clock is not None else MONOTONIC,
+                hedge=hedge,
+                registry=registry,
+            )
+            for shard_id, shard in enumerate(self._shards)
+        ]
 
     @property
     def router(self) -> ShardRouter:
@@ -324,18 +381,34 @@ class ShardedIndex:
     def inject_chaos(self, chaos) -> None:
         """Wrap every shard in a :class:`~repro.resilience.chaos.FaultyShard`
         driven by ``chaos``; reads start failing/slowing per its fault plan.
+        Replicated shards inject *inside* the :class:`ReplicaSet` so each
+        copy gets its own ``(shard, replica)``-addressed proxy.
         Idempotent-safe: injecting over an existing wrapper replaces it."""
+        from ..replication.replica_set import ReplicaSet
         from ..resilience.chaos import FaultyShard
 
         self.clear_chaos()
-        self._shards = [
-            FaultyShard(shard, shard_id, chaos)
-            for shard_id, shard in enumerate(self._shards)
-        ]
+        wrapped = []
+        for shard_id, shard in enumerate(self._shards):
+            if isinstance(shard, ReplicaSet):
+                shard.inject_chaos(chaos)
+                wrapped.append(shard)
+            else:
+                wrapped.append(FaultyShard(shard, shard_id, chaos))
+        self._shards = wrapped
 
     def clear_chaos(self) -> None:
         """Unwrap any chaos proxies; reads go straight to the shards again."""
-        self._shards = [getattr(shard, "inner", shard) for shard in self._shards]
+        from ..replication.replica_set import ReplicaSet
+
+        cleared = []
+        for shard in self._shards:
+            if isinstance(shard, ReplicaSet):
+                shard.clear_chaos()
+                cleared.append(shard)
+            else:
+                cleared.append(getattr(shard, "inner", shard))
+        self._shards = cleared
 
     @property
     def chaos(self):

@@ -1,0 +1,151 @@
+"""Unit tests for the per-tenant token-bucket quota board.
+
+The server contract tests (test_server.py) exercise quotas end to end
+over HTTP; this file pins the board's own semantics — refill arithmetic
+under a fake clock, the LRU bound on tenant state, and the snapshot
+diagnostics surface.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.observability import FakeClock
+from repro.server.quotas import (
+    ANONYMOUS_TENANT,
+    DEFAULT_MAX_TENANTS,
+    TenantQuotas,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_starve_then_refill(self):
+        bucket = TokenBucket(rate_per_s=2.0, burst=3.0, now=0.0)
+        assert [bucket.take(0.0) for _ in range(3)] == [0.0, 0.0, 0.0]
+        # Bucket empty: the hint prices one full token at the refill rate.
+        assert bucket.take(0.0) == pytest.approx(500.0)
+        # 0.25 s later half a token has landed; half a token remains due.
+        assert bucket.take(0.25) == pytest.approx(250.0)
+        # Rejected takes spend nothing: the half token is still there, a
+        # further second adds two more, and the grant spends exactly one.
+        assert bucket.take(1.25) == 0.0
+        assert bucket.tokens == pytest.approx(1.5)
+
+    def test_refill_never_exceeds_burst(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=2.0, now=0.0)
+        assert bucket.take(1000.0) == 0.0
+        assert bucket.tokens == pytest.approx(1.0)  # capped at burst, -1 spent
+
+    def test_zero_rate_bucket_starves_forever(self):
+        bucket = TokenBucket(rate_per_s=0.0, burst=1.0, now=0.0)
+        assert bucket.take(0.0) == 0.0
+        assert bucket.take(100.0) == math.inf
+
+    def test_clock_going_backwards_is_tolerated(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=1.0, now=10.0)
+        assert bucket.take(5.0) == 0.0  # negative elapsed clamps to zero
+
+
+class TestTenantQuotas:
+    def test_disabled_board_admits_everything_statelessly(self):
+        quotas = TenantQuotas(rate_per_s=0.0, clock=FakeClock())
+        assert not quotas.enabled
+        for _ in range(100):
+            assert quotas.check("tenant-a") == 0.0
+        assert len(quotas) == 0  # no per-tenant state accrues
+        assert quotas.rejected == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuotas(rate_per_s=1.0, burst=0.5)
+        with pytest.raises(ValueError):
+            TenantQuotas(max_tenants=0)
+        # A fractional burst is fine while quotas are disabled.
+        assert not TenantQuotas(rate_per_s=0.0, burst=0.5).enabled
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate_per_s=1.0, burst=2.0, clock=clock)
+        assert quotas.check("a") == 0.0
+        assert quotas.check("a") == 0.0
+        assert quotas.check("a") > 0.0          # a exhausted...
+        assert quotas.check("b") == 0.0         # ...b unaffected
+        assert quotas.rejected == 1
+
+    def test_unnamed_callers_share_the_anonymous_bucket(self):
+        quotas = TenantQuotas(rate_per_s=1.0, burst=1.0, clock=FakeClock())
+        assert quotas.check(None) == 0.0
+        assert quotas.check("") > 0.0           # falsy key, same bucket
+        assert list(quotas.snapshot()) == [ANONYMOUS_TENANT]
+
+    def test_refill_under_fake_clock(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate_per_s=2.0, burst=1.0, clock=clock)
+        assert quotas.check("a") == 0.0
+        hint = quotas.check("a")
+        assert hint == pytest.approx(500.0)     # one token at 2/s
+        clock.advance(0.5)
+        assert quotas.check("a") == 0.0         # the promised token landed
+        clock.advance(0.25)
+        assert quotas.check("a") == pytest.approx(250.0)
+
+    def test_retry_after_hint_is_exact(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate_per_s=4.0, burst=1.0, clock=clock)
+        quotas.check("a")
+        hint_ms = quotas.check("a")
+        clock.advance(hint_ms / 1000.0)
+        assert quotas.check("a") == 0.0         # waiting the hint out works
+
+    def test_lru_eviction_at_capacity(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(
+            rate_per_s=1.0, burst=1.0, clock=clock, max_tenants=3
+        )
+        for tenant in ("a", "b", "c"):
+            quotas.check(tenant)
+        assert len(quotas) == 3
+        quotas.check("a")        # touch a: b is now the least recent
+        quotas.check("d")        # capacity exceeded -> b evicted
+        assert len(quotas) == 3
+        assert set(quotas.snapshot()) == {"a", "c", "d"}
+
+    def test_eviction_resets_to_a_full_bucket(self):
+        """An evicted tenant returns to a fresh (full) bucket — strictly
+        more permissive than remembered state, never less."""
+        clock = FakeClock()
+        quotas = TenantQuotas(
+            rate_per_s=0.001, burst=1.0, clock=clock, max_tenants=1
+        )
+        assert quotas.check("a") == 0.0
+        assert quotas.check("a") > 0.0   # exhausted for ~1000 s
+        quotas.check("b")                # evicts a
+        assert quotas.check("a") == 0.0  # back with a full bucket
+
+    def test_snapshot_reports_elapsed_refill_without_mutating(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate_per_s=2.0, burst=4.0, clock=clock)
+        quotas.check("a")                       # 3 tokens left
+        quotas.check("a")                       # 2 tokens left
+        clock.advance(0.5)                      # +1 token elapsed
+        snapshot = quotas.snapshot()
+        assert snapshot["a"] == pytest.approx(3.0)
+        # Snapshot is read-only: the bucket still holds its stamped state.
+        assert quotas.check("a") == 0.0
+        assert quotas.snapshot()["a"] == pytest.approx(2.0)
+
+    def test_snapshot_levels_cap_at_burst(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate_per_s=10.0, burst=2.0, clock=clock)
+        quotas.check("a")
+        clock.advance(100.0)
+        assert quotas.snapshot()["a"] == pytest.approx(2.0)
+
+    def test_default_capacity(self):
+        assert TenantQuotas().__class__ is TenantQuotas
+        assert DEFAULT_MAX_TENANTS == 1024
+        quotas = TenantQuotas(rate_per_s=1.0, burst=1.0, clock=FakeClock())
+        assert quotas._max_tenants == DEFAULT_MAX_TENANTS

@@ -1,0 +1,475 @@
+"""Unit tests for repro.replication: bootstrap, failover, hedging,
+mutation convergence, per-replica chaos, and the replica health surface.
+
+The differential acceptance matrix (every algorithm, scored and unscored,
+under minority replica kills) lives in test_replication_differential.py;
+this file tests the machinery piece by piece.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import DiversityEngine
+from repro.index.inverted import InvertedIndex
+from repro.observability import FakeClock, MetricsRegistry, use_registry
+from repro.replication import (
+    HedgePolicy,
+    ReplicaBootstrapError,
+    ReplicaSet,
+    bootstrap_replicas,
+    clone_from_index,
+    live_rids,
+    replica_digest,
+)
+from repro.resilience import (
+    ChaosPolicy,
+    ReplicaDivergenceError,
+    ResiliencePolicy,
+    ShardCrashedError,
+    ShardFaultSpec,
+    ShardUnavailableError,
+    TransientShardError,
+)
+from repro.sharding import ShardedEngine, ShardedIndex
+
+from .conftest import RANDOM_ORDERING, random_relation
+
+#: Fast-failing policy for breaker-path tests (trips after two failures).
+TRIGGER_HAPPY = ResiliencePolicy(
+    max_retries=1,
+    backoff_base_ms=0.01,
+    backoff_cap_ms=0.02,
+    breaker_threshold=0.5,
+    breaker_window=4,
+    breaker_min_calls=2,
+    breaker_cooldown_ms=10_000.0,
+)
+
+
+def _relation(seed=11, rows=80):
+    return random_relation(random.Random(seed), max_rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Bootstrap
+# ----------------------------------------------------------------------
+class TestBootstrap:
+    def test_in_memory_clone_is_bit_identical(self):
+        index = ShardedIndex.build(_relation(), RANDOM_ORDERING, shards=2)
+        for shard in index.shards:
+            clone = clone_from_index(shard)
+            assert replica_digest(clone) == replica_digest(shard)
+            assert clone.epoch == shard.epoch
+            assert len(clone) == len(shard)
+            assert clone.dewey is shard.dewey  # shared global assignment
+
+    def test_durable_clone_replays_wal_to_same_epoch(self, tmp_path):
+        from repro.durability import create_sharded_store
+
+        relation = _relation(seed=12)
+        index = ShardedIndex.build(relation, RANDOM_ORDERING, shards=2)
+        create_sharded_store(index, tmp_path, replicas=2)
+        # Mutate past the snapshot so the clone must replay WAL records.
+        rid = relation.insert(("Honda", "Civic", "Red", "wal replayed row"))
+        index.insert(rid)
+        for shard in index.shards:
+            copies = bootstrap_replicas(shard, 2)
+            assert len(copies) == 1
+            assert replica_digest(copies[0]) == replica_digest(shard)
+            assert copies[0].epoch == shard.epoch
+        for shard in index.shards:
+            shard.close()
+
+    def test_bootstrap_count_validation(self):
+        index = ShardedIndex.build(_relation(), RANDOM_ORDERING, shards=2)
+        with pytest.raises(ValueError):
+            bootstrap_replicas(index.shards[0], 0)
+        assert bootstrap_replicas(index.shards[0], 1) == []
+
+    def test_replicate_is_in_place_and_guarded(self):
+        index = ShardedIndex.build(_relation(), RANDOM_ORDERING, shards=2)
+        assert index.replication_factor == 1
+        index.replicate(3)
+        assert index.replication_factor == 3
+        assert all(isinstance(shard, ReplicaSet) for shard in index.shards)
+        with pytest.raises(ValueError):
+            index.replicate(2)  # already replicated
+
+    def test_diverged_copy_is_rejected(self, monkeypatch):
+        import repro.replication.bootstrap as bootstrap_module
+
+        index = ShardedIndex.build(_relation(), RANDOM_ORDERING, shards=2)
+        primary = index.shards[0]
+        assert replica_digest(primary) != replica_digest(index.shards[1])
+        real_clone = bootstrap_module.clone_from_index
+
+        def lossy_clone(shard):
+            clone = real_clone(shard)
+            rid = live_rids(clone)[0]
+            clone.remove_mirrored(rid, clone.dewey.dewey_of(rid))
+            return clone
+
+        monkeypatch.setattr(bootstrap_module, "clone_from_index", lossy_clone)
+        with pytest.raises(ReplicaBootstrapError):
+            bootstrap_replicas(primary, 2)
+
+
+# ----------------------------------------------------------------------
+# Read failover
+# ----------------------------------------------------------------------
+class TestFailover:
+    def _replicated_engine(self, shards=2, replicas=2, policy=None, **kw):
+        relation = _relation(seed=21)
+        engine = ShardedEngine.from_relation(
+            relation, RANDOM_ORDERING, shards=shards, replicas=replicas,
+            policy=policy, **kw
+        )
+        reference = DiversityEngine.from_relation(relation, RANDOM_ORDERING)
+        return engine, reference
+
+    def test_crashed_replica_is_invisible(self):
+        engine, reference = self._replicated_engine()
+        chaos = engine.inject_chaos(ChaosPolicy(seed=1))
+        chaos.crash(0, replica_id=0)
+        chaos.crash(1, replica_id=1)
+        for algorithm in ("naive", "basic", "onepass", "probe", "multq"):
+            expected = reference.search("color = 'red'", 5,
+                                        algorithm=algorithm)
+            actual = engine.search("color = 'red'", 5, algorithm=algorithm)
+            assert actual.deweys == expected.deweys
+            assert actual.stats["degraded"] is False
+        assert engine.sharded_index.shards[0].failovers > 0
+        engine.close()
+
+    def test_all_replicas_down_surfaces_shard_loss(self):
+        engine, _ = self._replicated_engine(policy=TRIGGER_HAPPY)
+        chaos = engine.inject_chaos(ChaosPolicy(seed=2))
+        chaos.crash(0, replica_id=0)
+        chaos.crash(0, replica_id=1)
+        with pytest.raises(ShardUnavailableError) as excinfo:
+            engine.search("color = 'red'", 5, algorithm="probe")
+        assert 0 in excinfo.value.shards_lost
+        # The degradable gather path still answers from shard 1.
+        result = engine.search("color = 'red'", 5, algorithm="naive")
+        assert result.stats["degraded"] is True
+        assert result.stats["shards_failed"] == 1
+        engine.close()
+
+    def test_transient_on_one_replica_fails_over_without_retry(self):
+        """A replica that flakes is failed over *inside* the set — the
+        engine-level retry budget is untouched."""
+        engine, reference = self._replicated_engine(
+            policy=ResiliencePolicy(max_retries=0))
+        chaos = engine.inject_chaos(ChaosPolicy(seed=3))
+        chaos.set_spec((0, 0), ShardFaultSpec(transient_rate=1.0))
+        expected = reference.search("color = 'red'", 5, algorithm="probe")
+        actual = engine.search("color = 'red'", 5, algorithm="probe")
+        assert actual.deweys == expected.deweys
+        assert actual.stats["retries"] == 0
+        engine.close()
+
+    def test_selection_prefers_closed_breaker_and_primary(self):
+        index = ShardedIndex.build(_relation(), RANDOM_ORDERING, shards=1)
+        index.replicate(3, policy=TRIGGER_HAPPY)
+        replica_set = index.shards[0]
+        assert replica_set._selection_order() == [0, 1, 2]
+        for _ in range(3):
+            replica_set.breakers[0].record_failure()
+        assert replica_set.breakers[0].state == "open"
+        assert replica_set._selection_order()[0] != 0
+        assert replica_set._selection_order()[-1] == 0
+
+    def test_exhausted_reasons_name_every_replica(self):
+        index = ShardedIndex.build(_relation(), RANDOM_ORDERING, shards=1)
+        index.replicate(2)
+        chaos = ChaosPolicy.crash_shards(0)  # whole shard: every replica
+        index.inject_chaos(chaos)
+        with pytest.raises(ShardCrashedError) as excinfo:
+            index.shards[0].all_postings()
+        message = str(excinfo.value)
+        assert "replica 0" in message and "replica 1" in message
+
+    def test_transient_anywhere_keeps_retryability(self):
+        index = ShardedIndex.build(_relation(), RANDOM_ORDERING, shards=1)
+        index.replicate(2)
+        chaos = ChaosPolicy(seed=4, per_shard={
+            (0, 0): ShardFaultSpec(transient_rate=1.0),
+            (0, 1): ShardFaultSpec(crashed=True),
+        })
+        index.inject_chaos(chaos)
+        with pytest.raises(TransientShardError):
+            index.shards[0].all_postings()
+
+
+# ----------------------------------------------------------------------
+# Hedged reads
+# ----------------------------------------------------------------------
+class TestHedging:
+    def test_delay_floor_and_percentile(self):
+        policy = HedgePolicy(delay_ms=10.0, percentile=0.9, min_samples=4)
+        assert policy.delay_seconds([]) == pytest.approx(0.010)
+        assert policy.delay_seconds([1.0, 2.0]) == pytest.approx(0.010)
+        samples = [float(i) for i in range(1, 101)]  # 1..100 ms
+        assert policy.delay_seconds(samples) == pytest.approx(0.091)
+        # The floor wins when the observed percentile is lower.
+        assert HedgePolicy(delay_ms=500.0, min_samples=4).delay_seconds(
+            samples) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(delay_ms=-1.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(percentile=1.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(window=0)
+
+    def test_slow_primary_loses_to_hedged_backup(self):
+        relation = _relation(seed=31)
+        engine = ShardedEngine.from_relation(
+            relation, RANDOM_ORDERING, shards=2, replicas=2, hedge_ms=0.01
+        )
+        chaos = engine.inject_chaos(ChaosPolicy(seed=5))
+        chaos.set_spec((0, 0), ShardFaultSpec(latency_ms=40.0))
+        reference = DiversityEngine.from_relation(relation, RANDOM_ORDERING)
+        expected = reference.search("color = 'red'", 5, algorithm="probe")
+        actual = engine.search("color = 'red'", 5, algorithm="probe")
+        assert actual.deweys == expected.deweys
+        replica_set = engine.sharded_index.shards[0]
+        assert replica_set.hedges_fired > 0
+        assert replica_set.hedges_won > 0
+        # Never more than one backup per read, by construction.
+        assert replica_set.hedges_fired <= replica_set._health[0].requests
+        engine.close()
+
+    def test_unhedged_set_never_spawns_threads(self):
+        index = ShardedIndex.build(_relation(), RANDOM_ORDERING, shards=1)
+        index.replicate(2)
+        replica_set = index.shards[0]
+        for _ in range(5):
+            replica_set.all_postings()
+        assert replica_set._pool is None
+
+    def test_hedge_metrics_exported(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            relation = _relation(seed=32)
+            engine = ShardedEngine.from_relation(
+                relation, RANDOM_ORDERING, shards=2, replicas=2,
+                hedge_ms=0.01,
+            )
+            chaos = engine.inject_chaos(ChaosPolicy(seed=6))
+            chaos.set_spec((1, 0), ShardFaultSpec(latency_ms=40.0))
+            engine.search("color = 'red'", 4, algorithm="probe")
+            fired = registry.value(
+                "repro_replica_hedges_total", outcome="fired")
+            assert fired > 0
+            engine.close()
+
+
+# ----------------------------------------------------------------------
+# Mutations
+# ----------------------------------------------------------------------
+class TestMutationConvergence:
+    def test_insert_and_remove_keep_replicas_identical(self):
+        relation = _relation(seed=41)
+        engine = ShardedEngine.from_relation(
+            relation, RANDOM_ORDERING, shards=2, replicas=3
+        )
+        rid = engine.insert(("Honda", "Civic", "Red", "fresh row"))
+        for replica_set in engine.sharded_index.shards:
+            digests = {replica_digest(r) for r in replica_set.replicas}
+            assert len(digests) == 1
+        assert engine.delete(rid)
+        for replica_set in engine.sharded_index.shards:
+            digests = {replica_digest(r) for r in replica_set.replicas}
+            assert len(digests) == 1
+            epochs = {r.epoch for r in replica_set.replicas}
+            assert len(epochs) == 1
+        engine.close()
+
+    def test_mutations_survive_a_crashed_replica(self):
+        """Chaos only breaks the data path: a killed replica still applies
+        forwarded mutations, so it is consistent when revived."""
+        relation = _relation(seed=42)
+        engine = ShardedEngine.from_relation(
+            relation, RANDOM_ORDERING, shards=2, replicas=2
+        )
+        chaos = engine.inject_chaos(ChaosPolicy(seed=7))
+        chaos.crash(0, replica_id=0)
+        chaos.crash(1, replica_id=0)
+        rid = engine.insert(("Honda", "Civic", "Red", "during outage"))
+        chaos.revive(0, replica_id=0)
+        chaos.revive(1, replica_id=0)
+        for replica_set in engine.sharded_index.shards:
+            digests = {replica_digest(r) for r in replica_set.replicas}
+            assert len(digests) == 1
+        assert engine.delete(rid)
+        engine.close()
+
+    def test_divergence_is_detected(self):
+        index = ShardedIndex.build(_relation(seed=43), RANDOM_ORDERING,
+                                   shards=1)
+        index.replicate(2)
+        replica_set = index.shards[0]
+        relation = index.relation
+        rid = relation.insert(("Honda", "Civic", "Red", "skewed"))
+        # Sabotage: bump only the follower's epoch so the convergence
+        # check sees disagreement on the next mutation.
+        follower = replica_set.replicas[1]
+        follower.insert(rid)
+        rid2 = relation.insert(("Ford", "F150", "Black", "next"))
+        with pytest.raises(ReplicaDivergenceError) as excinfo:
+            replica_set.insert(rid2)
+        assert excinfo.value.shard_id == 0
+
+    def test_remove_mirrored_leaves_shared_dewey_alone(self):
+        from repro.core.ordering import DiversityOrdering
+
+        relation = _relation(seed=44)
+        primary = InvertedIndex.build(relation, DiversityOrdering(RANDOM_ORDERING))
+        copy = clone_from_index(primary)
+        rid = relation.insert(("Honda", "Civic", "Red", "to remove"))
+        dewey = primary.insert(rid)
+        copy.insert(rid)
+        removed = copy.remove_mirrored(rid, dewey)
+        assert removed == dewey
+        assert rid in primary.dewey  # shared assignment untouched
+        assert dewey in primary.all_postings()
+        assert dewey not in copy.all_postings()
+
+
+# ----------------------------------------------------------------------
+# Per-replica chaos addressing + injectable sleep (satellite 1)
+# ----------------------------------------------------------------------
+class TestReplicaChaos:
+    def test_tuple_key_beats_shard_key(self):
+        chaos = ChaosPolicy(per_shard={
+            0: ShardFaultSpec(crashed=True),
+            (0, 1): ShardFaultSpec(),
+        })
+        assert chaos.spec_for(0).crashed
+        assert chaos.spec_for(0, replica_id=0).crashed
+        assert not chaos.spec_for(0, replica_id=1).crashed
+
+    def test_crash_and_revive_single_replica(self):
+        chaos = ChaosPolicy()
+        chaos.crash(2, replica_id=1)
+        assert chaos.spec_for(2, replica_id=1).crashed
+        assert not chaos.spec_for(2, replica_id=0).crashed
+        assert not chaos.spec_for(2).crashed
+        chaos.revive(2, replica_id=1)
+        assert not chaos.spec_for(2, replica_id=1).crashed
+
+    def test_shard_only_rng_stream_is_stable_across_replication(self):
+        """Pre-replication chaos runs must stay bit-identical: the
+        replica-less RNG stream ignores the replica dimension."""
+        first = ChaosPolicy(seed=9)
+        second = ChaosPolicy(seed=9)
+        draws_first = [first._rng(3).random() for _ in range(5)]
+        second._rng(3, replica_id=0)  # interleave a replica stream
+        draws_second = [second._rng(3).random() for _ in range(5)]
+        assert draws_first == draws_second
+        # Distinct replica streams are independent of each other.
+        assert first._rng(3, 0).random() != first._rng(3, 1).random()
+
+    def test_latency_uses_injected_sleep(self):
+        clock = FakeClock()
+        slept = []
+
+        def fake_sleep(seconds):
+            slept.append(seconds)
+            clock.advance(seconds)
+
+        chaos = ChaosPolicy(per_shard={0: ShardFaultSpec(latency_ms=25.0)})
+        chaos.bind_sleep(fake_sleep)
+        chaos.before_read(0, "all_postings")
+        assert slept == [pytest.approx(0.025)]
+        assert clock() == pytest.approx(0.025)
+
+    def test_engine_binds_its_sleep_on_injection(self):
+        sleeps = []
+        engine = ShardedEngine.from_relation(
+            _relation(seed=51), RANDOM_ORDERING, shards=2,
+            sleep=lambda s: sleeps.append(s),
+        )
+        chaos = engine.inject_chaos(
+            ChaosPolicy(default=ShardFaultSpec(latency_ms=5.0)))
+        engine.search("color = 'red'", 3, algorithm="naive")
+        assert sleeps, "chaos latency must run on the engine's sleep"
+        assert chaos.injected["latency"] == len(sleeps)
+        engine.close()
+
+    def test_explicit_sleep_wins_over_bind(self):
+        mine = []
+        chaos = ChaosPolicy(sleep=lambda s: mine.append(s),
+                            per_shard={0: ShardFaultSpec(latency_ms=1.0)})
+        chaos.bind_sleep(lambda s: (_ for _ in ()).throw(AssertionError))
+        chaos.before_read(0, "all_postings")
+        assert mine == [pytest.approx(0.001)]
+
+
+# ----------------------------------------------------------------------
+# Health surface (satellite 2)
+# ----------------------------------------------------------------------
+class TestReplicaHealth:
+    def test_snapshot_gains_replica_dimension(self):
+        engine = ShardedEngine.from_relation(
+            _relation(seed=61), RANDOM_ORDERING, shards=2, replicas=2
+        )
+        engine.search("color = 'red'", 3, algorithm="probe")
+        rows = engine.health.snapshot()
+        logical = [row for row in rows if row["replica_id"] is None]
+        physical = [row for row in rows if row["replica_id"] is not None]
+        assert len(logical) == 2
+        assert len(physical) == 4
+        assert {(row["shard_id"], row["replica_id"]) for row in physical} == {
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        }
+        assert all("breaker" in row and "ewma_ms" in row for row in physical)
+        engine.close()
+
+    def test_unreplicated_snapshot_unchanged(self):
+        engine = ShardedEngine.from_relation(
+            _relation(seed=62), RANDOM_ORDERING, shards=2
+        )
+        rows = engine.health.snapshot()
+        assert len(rows) == 2
+        assert all(row["replica_id"] is None for row in rows)
+        engine.close()
+
+    def test_replica_gauges_exported(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            engine = ShardedEngine.from_relation(
+                _relation(seed=63), RANDOM_ORDERING, shards=2, replicas=2
+            )
+            engine.search("color = 'red'", 3, algorithm="probe")
+            registry.run_collectors()
+            # Healthy reads stay on the primary copy of every shard; the
+            # idle follower is still visible (at zero) per its address.
+            assert registry.value(
+                "repro_replica_requests", shard="0", replica="0") > 0
+            assert registry.value(
+                "repro_replica_requests", shard="1", replica="0") > 0
+            assert registry.find(
+                "repro_replica_requests", shard="0", replica="1") is not None
+            # The coordinator-driven scan credits shard successes (its
+            # admission counters belong to the gather fan-out).
+            assert registry.value("repro_shard_successes", shard="0") > 0
+            engine.close()
+
+    def test_failover_counter_exported(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            engine = ShardedEngine.from_relation(
+                _relation(seed=64), RANDOM_ORDERING, shards=2, replicas=2
+            )
+            chaos = engine.inject_chaos(ChaosPolicy(seed=8))
+            chaos.crash(0, replica_id=0)
+            engine.search("color = 'red'", 3, algorithm="probe")
+            assert registry.value(
+                "repro_replica_failovers_total", shard="0") > 0
+            engine.close()
