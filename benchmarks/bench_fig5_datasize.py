@@ -4,12 +4,14 @@ Paper shape: UNaive grows with the number of listings while UOnePass and
 UProbe stay flat, tracking UBasic.  Each benchmark row is (algorithm, rows);
 compare rows of the same algorithm across sizes to read the trend.
 
-The ladder now tops out at the paper's full 10**5 listings: the compressed
+The ladder defaults to the paper's full 10**5 listings: the compressed
 posting backend (``REPRO_BENCH_BACKEND``, default ``compressed``) keeps
 the resident footprint of the largest index in the tens of megabytes, so
-the full-scale point fits in a laptop-class run.  Override
-``REPRO_BENCH_MAX_ROWS`` to shrink the ladder (it never drops below
-``REPRO_BENCH_ROWS``).
+the full-scale point fits in a laptop-class run.  ``REPRO_BENCH_MAX_ROWS``
+moves the top rung in either direction (it never drops below
+``REPRO_BENCH_ROWS``): the nightly CI job exports ``1_000_000`` for a
+10x-beyond-paper point, and above 10**5 rows the workload slices scale
+down further so total wall-clock grows sublinearly with the ladder.
 """
 
 import os
@@ -54,6 +56,11 @@ def test_fig5(benchmark, algorithm, rows):
         # UNaive materialises every match; at full scale a slice of the
         # workload is enough to read the linear trend from mean_ms.
         workload = workload[: max(1, len(workload) // 5)]
+    if rows > 100_000:
+        # Beyond the paper's scale (the nightly 10**6 rung) every
+        # algorithm runs a thinner slice: per-query cost is what the
+        # trend reads, total wall-clock is what CI budgets.
+        workload = workload[: max(1, len(workload) // 10)]
     benchmark.group = f"fig5 rows={rows}"
     benchmark.extra_info["backend"] = BACKEND
     benchmark.extra_info["rows"] = rows

@@ -1,31 +1,37 @@
-"""Sharded fan-out benchmark: throughput vs. shard count and pool size.
+"""Sharded fan-out benchmark: throughput vs. shards, workers and backend.
 
 Beyond the paper (which runs each algorithm against one index): this
 measures what :mod:`repro.sharding` costs and buys when the index is
-hash-partitioned across N shards.  Two representative execution paths:
+hash-partitioned across N shards, across three execution backends:
 
-* **UNaive** — the scatter-gather path: every shard computes its local
-  diverse top-k over its own (1/N-sized) row subset and the coordinator
-  re-applies Definitions 1-2 to at most ``N*k`` candidates.  The exact
-  post-processing, quadratic-ish in candidate count, shrinks per shard.
-* **UProbe** — the coordinator-driven path: the unmodified algorithm runs
-  against union cursors, each probe fanning out to all shards.  This is
-  the price of bit-identical probing answers — expect overhead, not
-  speedup, and this benchmark quantifies it.
+* **serial** (``workers=0``) — the coordinator visits shards in a loop.
+* **thread** (``workers=W``) — a persistent thread pool; in CPython the
+  GIL keeps pure-python fan-out roughly flat, which the numbers document
+  honestly.
+* **process** (``worker_mode="process"``) — :mod:`repro.parallel` worker
+  processes, one per pool slot, each owning a fixed shard subset.  The
+  gather algorithms (``UNaive``/``SNaive``/``UBasic``) ship only
+  ``(query, k, algorithm, epoch)`` per shard and get candidate lists
+  back, so their per-shard diverse top-k really runs concurrently.  The
+  coordinator-driven scan path (``UProbe``) stays on the union cursors
+  by design — its probe order is the bit-identity guarantee — so it
+  never uses the process pool.
 
 Answers are identical across every configuration (asserted), so the table
-is a pure cost comparison.  ``workers`` sizes the scatter thread pool; in
-CPython the GIL keeps pure-python fan-out roughly flat, which the numbers
-document honestly.
+is a pure cost comparison.  The report records ``cpus``: on a single-core
+host the process backend pays IPC for no concurrency and the speedup
+targets are not applicable (the JSON says so rather than pretending).
 
 Run under pytest (``pytest benchmarks/bench_sharding.py``) or directly
-(``python benchmarks/bench_sharding.py --out BENCH_sharding.json``).
-Scales follow ``REPRO_BENCH_ROWS`` / ``REPRO_BENCH_QUERIES``.
+(``python benchmarks/bench_sharding.py --rows 100000 --out
+BENCH_sharding.json``).  Scales follow ``REPRO_BENCH_ROWS`` /
+``REPRO_BENCH_QUERIES``.
 """
 
 import argparse
 import gc
 import json
+import os
 import platform
 import sys
 import time
@@ -38,56 +44,104 @@ from repro.core.engine import DiversityEngine
 from repro.data.autos import AutosSpec, autos_ordering, generate_autos
 from repro.data.workload import WorkloadGenerator, WorkloadSpec
 from repro.index.inverted import InvertedIndex
-from repro.sharding import ShardedEngine
+from repro.sharding import ShardedEngine, ShardedIndex
 
 DEFAULT_WORKLOAD_QUERIES = 200
 K = 10
 SHARD_COUNTS = (1, 2, 4, 8)
-WORKER_POOLS = (0, 4)
-TAGS = ("UNaive", "UProbe")
+WORKERS = 4
+#: Scatter-gather tags — the paths the process backend accelerates.
+GATHER_TAGS = ("UNaive", "SNaive", "UBasic")
+#: Coordinator-driven representative: quantifies union-cursor overhead.
+SCAN_TAGS = ("UProbe",)
+TAGS = GATHER_TAGS + SCAN_TAGS
 
-_CACHE = {}
+#: Acceptance gate: the process backend must beat 1-shard serial by this
+#: factor on at least MIN_WINNING_TAGS gather algorithms (multi-core
+#: hosts at >= MIN_GATE_ROWS rows only — see ``speedup_gate``).
+MIN_SPEEDUP = 1.3
+MIN_WINNING_TAGS = 2
+MIN_GATE_ROWS = 50_000
+
+_DATA_CACHE = {}
+_INDEX_CACHE = {}
 
 
 def _setup(rows, queries=DEFAULT_WORKLOAD_QUERIES):
     key = (rows, queries)
-    if key not in _CACHE:
+    if key not in _DATA_CACHE:
         relation = generate_autos(AutosSpec(rows=rows, seed=42))
         workload = WorkloadGenerator(
             relation,
             WorkloadSpec(queries=queries, predicates=1, selectivity=0.5, seed=1),
         ).materialise()
-        _CACHE[key] = (relation, workload)
-    return _CACHE[key]
+        _DATA_CACHE[key] = (relation, workload)
+    return _DATA_CACHE[key]
 
 
-def _engine(relation, shards, workers):
+def _index(relation, rows, shards):
+    """Shard-count-keyed index cache: the build cost is paid once, not
+    once per (algorithm x worker-config) cell."""
+    key = (rows, shards)
+    if key not in _INDEX_CACHE:
+        if shards == 1:
+            _INDEX_CACHE[key] = InvertedIndex.build(relation, autos_ordering())
+        else:
+            _INDEX_CACHE[key] = ShardedIndex.build(
+                relation, autos_ordering(), shards=shards
+            )
+    return _INDEX_CACHE[key]
+
+
+def _engine(relation, rows, shards, workers, worker_mode):
+    index = _index(relation, rows, shards)
     if shards == 1:
-        return DiversityEngine(InvertedIndex.build(relation, autos_ordering()))
-    return ShardedEngine.from_relation(
-        relation, autos_ordering(), shards=shards, workers=workers
-    )
+        return DiversityEngine(index)
+    return ShardedEngine(index, workers=workers, worker_mode=worker_mode)
+
+
+def _workload_slice(workload, rows, tag):
+    """Large-scale runs slice the workload (same idiom as bench_fig5):
+    per-query cost grows with the data, total cost is what's bounded."""
+    if rows <= 20_000:
+        return workload
+    divisor = 10 if tag in SCAN_TAGS else 5
+    return workload[: max(10, len(workload) // divisor)]
+
+
+def _configs(shards):
+    """(workers, worker_mode) cells for one shard count."""
+    if shards == 1:
+        return [(0, "thread")]
+    return [(0, "thread"), (WORKERS, "thread"), (WORKERS, "process")]
 
 
 def measure(rows, queries=DEFAULT_WORKLOAD_QUERIES):
-    """Time every (tag, shards, workers) cell; returns a JSON-able dict."""
+    """Time every (tag, shards, workers, mode) cell; JSON-able report."""
     relation, workload = _setup(rows, queries)
     cells = []
     baselines = {}
     for tag in TAGS:
+        tag_workload = _workload_slice(workload, rows, tag)
         for shards in SHARD_COUNTS:
-            pools = (0,) if shards == 1 else WORKER_POOLS
-            for workers in pools:
-                engine = _engine(relation, shards, workers)
+            for workers, worker_mode in _configs(shards):
+                if worker_mode == "process" and tag in SCAN_TAGS:
+                    continue  # scan never fans out to worker processes
+                engine = _engine(relation, rows, shards, workers, worker_mode)
                 gc.collect()
-                timing = run_sharded_workload(engine, workload, K, tag)
+                try:
+                    timing = run_sharded_workload(engine, tag_workload, K, tag)
+                finally:
+                    closer = getattr(engine, "close", None)
+                    if callable(closer):
+                        closer()
                 if shards == 1:
                     baselines[tag] = timing
                 baseline = baselines[tag]
                 # Sharding must never change an answer: same result count
                 # as the unsharded baseline over the identical workload.
                 assert timing.results_returned == baseline.results_returned, (
-                    f"{tag} shards={shards} returned "
+                    f"{tag} shards={shards} mode={worker_mode} returned "
                     f"{timing.results_returned} != {baseline.results_returned}"
                 )
                 seconds = timing.total_seconds
@@ -96,9 +150,12 @@ def measure(rows, queries=DEFAULT_WORKLOAD_QUERIES):
                         "algorithm": tag,
                         "shards": shards,
                         "workers": workers,
+                        "worker_mode": timing.worker_mode,
+                        "queries": len(tag_workload),
                         "seconds": round(seconds, 6),
-                        "queries_per_second": round(queries / seconds, 1)
-                        if seconds > 0 else float("inf"),
+                        "queries_per_second": round(
+                            len(tag_workload) / seconds, 1
+                        ) if seconds > 0 else float("inf"),
                         "relative_to_1_shard": round(
                             seconds / baseline.total_seconds, 3
                         ) if baseline.total_seconds > 0 else float("inf"),
@@ -106,14 +163,68 @@ def measure(rows, queries=DEFAULT_WORKLOAD_QUERIES):
                         "results_returned": timing.results_returned,
                     }
                 )
-    return {
+    report = {
         "benchmark": "sharding",
         "rows": rows,
         "queries": queries,
         "k": K,
         "router": "hash",
         "python": platform.python_version(),
+        "cpus": os.cpu_count(),
         "cells": cells,
+    }
+    report["speedup_gate"] = speedup_gate(report)
+    return report
+
+
+def best_process_speedups(report):
+    """Per gather tag: serial-baseline seconds / best process-cell seconds
+    (normalised per query — the slices are identical, but be explicit)."""
+    speedups = {}
+    for tag in GATHER_TAGS:
+        serial = next(
+            (c for c in report["cells"]
+             if c["algorithm"] == tag and c["shards"] == 1), None
+        )
+        process = [
+            c for c in report["cells"]
+            if c["algorithm"] == tag and c["worker_mode"] in ("fork", "spawn")
+        ]
+        if serial is None or not process or serial["seconds"] <= 0:
+            continue
+        per_query_serial = serial["seconds"] / serial["queries"]
+        best = max(
+            (c["queries"] / c["seconds"]) * per_query_serial
+            for c in process if c["seconds"] > 0
+        )
+        speedups[tag] = round(best, 3)
+    return speedups
+
+
+def speedup_gate(report):
+    """The acceptance check as data: applicable?, satisfied?, evidence.
+
+    Applicable only on multi-core hosts at >= MIN_GATE_ROWS rows: with
+    one CPU the worker processes time-slice one core and the fan-out
+    cannot beat serial no matter how cheap the transport is.
+    """
+    speedups = best_process_speedups(report)
+    applicable = (
+        (report["cpus"] or 1) >= 2 and report["rows"] >= MIN_GATE_ROWS
+    )
+    winners = [tag for tag, s in speedups.items() if s >= MIN_SPEEDUP]
+    losers = [tag for tag, s in speedups.items() if s < 1.0]
+    return {
+        "applicable": applicable,
+        "min_speedup": MIN_SPEEDUP,
+        "min_winning_tags": MIN_WINNING_TAGS,
+        "process_vs_serial": speedups,
+        "winners": winners,
+        "slower_than_serial": losers,
+        "satisfied": (
+            len(winners) >= MIN_WINNING_TAGS and not losers
+            if applicable else None
+        ),
     }
 
 
@@ -132,9 +243,9 @@ if pytest is not None:
     @pytest.mark.parametrize("shards", SHARD_COUNTS[1:])
     def test_sharded_results_match_unsharded_at_scale(shards):
         relation, workload = _setup(BENCH_ROWS, BENCH_QUERIES)
-        plain = DiversityEngine(InvertedIndex.build(relation, autos_ordering()))
-        sharded = ShardedEngine.from_relation(
-            relation, autos_ordering(), shards=shards, workers=4
+        plain = DiversityEngine(_index(relation, BENCH_ROWS, 1))
+        sharded = ShardedEngine(
+            _index(relation, BENCH_ROWS, shards), workers=4
         )
         for query in workload[: min(20, len(workload))]:
             for tag, scored in (("naive", False), ("probe", False), ("probe", True)):
@@ -142,15 +253,50 @@ if pytest is not None:
                 b = sharded.search(query, K, algorithm=tag, scored=scored)
                 assert a.deweys == b.deweys and a.scores == b.scores
 
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_process_results_match_unsharded_at_scale(shards):
+        """The process backend differential, at benchmark scale: every
+        gather algorithm bit-identical to the unsharded engine."""
+        relation, workload = _setup(BENCH_ROWS, BENCH_QUERIES)
+        plain = DiversityEngine(_index(relation, BENCH_ROWS, 1))
+        with ShardedEngine(
+            _index(relation, BENCH_ROWS, shards), workers=2,
+            worker_mode="process",
+        ) as engine:
+            for query in workload[: min(20, len(workload))]:
+                for tag, scored in (("naive", False), ("naive", True),
+                                    ("basic", False)):
+                    a = plain.search(query, K, algorithm=tag, scored=scored)
+                    b = engine.search(query, K, algorithm=tag, scored=scored)
+                    assert a.deweys == b.deweys and a.scores == b.scores, (
+                        f"shards={shards} {tag} scored={scored}"
+                    )
+
     def test_scatter_gather_throughput(benchmark):
         relation, workload = _setup(BENCH_ROWS, BENCH_QUERIES)
-        engine = ShardedEngine.from_relation(relation, autos_ordering(), shards=4)
+        engine = ShardedEngine(_index(relation, BENCH_ROWS, 4))
         benchmark.group = f"sharding rows={BENCH_ROWS}"
         timing = benchmark.pedantic(
             run_sharded_workload, args=(engine, workload, K, "UNaive"),
             rounds=2, iterations=1,
         )
         assert timing.shards == 4
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 2,
+        reason="process fan-out cannot beat serial on a single core",
+    )
+    @pytest.mark.skipif(
+        env_int("REPRO_BENCH_ROWS", 5000) < MIN_GATE_ROWS,
+        reason=f"speedup gate needs REPRO_BENCH_ROWS >= {MIN_GATE_ROWS}",
+    )
+    def test_process_fanout_beats_serial():
+        """Acceptance: >= MIN_SPEEDUP on >= MIN_WINNING_TAGS gather
+        algorithms, and never slower than serial on any."""
+        report = measure(BENCH_ROWS, BENCH_QUERIES)
+        gate = report["speedup_gate"]
+        assert gate["applicable"]
+        assert gate["satisfied"], gate
 
 
 # ----------------------------------------------------------------------
@@ -174,17 +320,29 @@ def main(argv=None) -> int:
     elapsed = time.perf_counter() - started
 
     print(
-        f"sharded fan-out @ {args.rows} rows, {args.queries} queries, k={K}:"
+        f"sharded fan-out @ {args.rows} rows, {args.queries} queries, "
+        f"k={K}, cpus={report['cpus']}:"
     )
-    print(f"  {'algorithm':<10} {'shards':>6} {'workers':>7} "
-          f"{'seconds':>9} {'q/s':>8} {'vs 1 shard':>10}")
+    print(f"  {'algorithm':<10} {'shards':>6} {'workers':>7} {'mode':>7} "
+          f"{'queries':>7} {'seconds':>9} {'q/s':>8} {'vs 1 shard':>10}")
     for cell in report["cells"]:
         print(
             f"  {cell['algorithm']:<10} {cell['shards']:>6} "
-            f"{cell['workers']:>7} {cell['seconds']:>9.3f} "
+            f"{cell['workers']:>7} {cell['worker_mode']:>7} "
+            f"{cell['queries']:>7} {cell['seconds']:>9.3f} "
             f"{cell['queries_per_second']:>8.1f} "
             f"{cell['relative_to_1_shard']:>9.2f}x"
         )
+    gate = report["speedup_gate"]
+    print(f"  process vs serial (per-query): {gate['process_vs_serial']}")
+    if gate["applicable"]:
+        verdict = "PASS" if gate["satisfied"] else "FAIL"
+        print(f"  speedup gate (>= {MIN_SPEEDUP}x on >= "
+              f"{MIN_WINNING_TAGS} gather algorithms): {verdict}")
+    else:
+        print(f"  speedup gate: not applicable "
+              f"(cpus={report['cpus']}, rows={report['rows']}; needs >= 2 "
+              f"cpus and >= {MIN_GATE_ROWS} rows)")
     print(f"  [measured in {elapsed:.1f}s]")
     if args.out is not None:
         args.out.write_text(json.dumps(report, indent=2) + "\n")

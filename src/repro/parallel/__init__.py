@@ -1,0 +1,60 @@
+"""Process-based shard execution for the scatter-gather fan-out.
+
+CPython threads cannot run the pure-python per-shard diverse top-k
+concurrently (the GIL serialises them — BENCH_sharding.json documents the
+thread pool as a pure slowdown), so this package moves the *gather*
+algorithms' shard work into real OS processes:
+
+* :class:`~repro.parallel.pool.ProcessShardPool` — the coordinator side.
+  One dedicated worker process per pool slot, each owning a fixed subset
+  of shards, spoken to over a :mod:`multiprocessing` pipe.  The
+  coordinator ships only ``(query, k, algorithm, scored, epoch)`` per
+  shard and receives the per-shard candidate lists (Dewey IDs + scores)
+  that the existing Definitions 1-2 diverse-merge consumes unchanged.
+* :mod:`~repro.parallel.worker` — the worker side: a blocking task loop
+  over the pipe, answering against a read-only shard replica.  Replicas
+  bootstrap two ways: ``fork`` workers inherit the built in-memory shard
+  indexes from the parent (POSIX, zero-copy until the first write);
+  ``spawn`` workers rebuild them from the durability layer's per-shard
+  snapshot directories (``shard-NNNN`` + MANIFEST,
+  :func:`~repro.parallel.bootstrap.load_shard_replica`).
+* **Epoch fencing** — every request carries the per-shard mutation epoch
+  the coordinator expects; a worker whose replica sits at any other epoch
+  answers ``stale`` instead of computing, and the coordinator rebuilds
+  the pool rather than merging a stale candidate list.
+
+Deployments the workers cannot faithfully mirror are rejected up front
+with :class:`UnsupportedWorkerModeError` (never silently bypassed):
+chaos fault plans and replica-set failover are coordinator-side state
+that does not exist inside a worker process.
+"""
+
+from .bootstrap import load_shard_replica
+from .pool import (
+    CRASHED,
+    DEADLINE,
+    ERROR,
+    OK,
+    PROCESS_MODES,
+    STALE,
+    ProcessShardPool,
+    UnsupportedWorkerModeError,
+    WORKER_MODES,
+    resolve_worker_mode,
+)
+from .worker import compute_candidates
+
+__all__ = [
+    "CRASHED",
+    "DEADLINE",
+    "ERROR",
+    "OK",
+    "PROCESS_MODES",
+    "STALE",
+    "ProcessShardPool",
+    "UnsupportedWorkerModeError",
+    "WORKER_MODES",
+    "compute_candidates",
+    "load_shard_replica",
+    "resolve_worker_mode",
+]

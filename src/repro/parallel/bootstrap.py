@@ -1,0 +1,138 @@
+"""Spawn-safe worker bootstrap: one shard replica from its snapshot dir.
+
+A ``spawn`` worker starts with a fresh interpreter — nothing of the
+parent's built index survives the exec — so it rebuilds its shards from
+the durability layer's on-disk layout (``data_dir/shard-NNNN/`` holding a
+partial rid-subset snapshot plus that shard's WAL).
+
+The full deployment recovery (:func:`repro.durability.sharded
+.recover_sharded_store`) restores the *global* relation and refuses rid
+gaps, because the coordinator must keep every shard's rows addressable.
+A worker needs none of that: the gather algorithms observe only Dewey
+IDs — posting lists, ``MergedList`` cursors and ``diverse_subset`` never
+read a rid — so the replica packs just its own shard's live rows into a
+local dense-rid relation and force-restores the *shared global* Dewey
+assignment over them.  Posting-list content (the set of Dewey IDs per
+``(attribute, value)``) is bit-identical to the coordinator's shard, and
+the replica lands on the shard's exact mutation epoch, which is what the
+coordinator's epoch fence checks against.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..core.ordering import DiversityOrdering
+from ..durability.errors import RecoveryError
+from ..index.inverted import InvertedIndex
+from ..index.snapshot import SnapshotError, read_snapshot, restore_dewey
+from ..storage.relation import Relation
+from ..storage.schema import Attribute, AttributeKind, Schema
+
+
+def load_shard_replica(
+    data_dir: Union[str, Path], shard_id: int
+) -> InvertedIndex:
+    """Rebuild shard ``shard_id`` of the deployment at ``data_dir``.
+
+    Returns a standalone read-only :class:`InvertedIndex` whose posting
+    lists, Dewey assignments and mutation epoch match the coordinator's
+    shard exactly (snapshot + full WAL replay).  Raises
+    :class:`RecoveryError` on a damaged or inconsistent directory — a
+    worker must refuse to serve from a shard it cannot prove complete.
+    """
+    from ..durability.sharded import shard_dir_name
+    from ..durability.store import (
+        SNAPSHOT_NAME,
+        WAL_NAME,
+        _scan_wal_for_recovery,
+        parse_record,
+        read_manifest,
+    )
+
+    data_dir = Path(data_dir)
+    manifest = read_manifest(data_dir)
+    if manifest.get("kind") != "sharded":
+        raise RecoveryError(
+            data_dir,
+            f"manifest kind {manifest.get('kind')!r} is not a sharded store",
+        )
+    num_shards = int(manifest.get("shards", 0))
+    if not 0 <= shard_id < num_shards:
+        raise RecoveryError(
+            data_dir,
+            f"shard {shard_id} outside the deployment's 0..{num_shards - 1}",
+        )
+    shard_dir = data_dir / shard_dir_name(shard_id)
+    snapshot_path = shard_dir / SNAPSHOT_NAME
+    if not snapshot_path.exists():
+        raise RecoveryError(
+            data_dir, f"missing snapshot for shard {shard_id} ({snapshot_path})"
+        )
+    try:
+        payload = read_snapshot(snapshot_path)
+    except SnapshotError as error:
+        raise RecoveryError(data_dir, str(error)) from error
+    scan = _scan_wal_for_recovery(shard_dir / WAL_NAME, shard_dir)
+
+    # ---- Snapshot state: this shard's rows + live Dewey assignments.
+    rows = {int(rid): row for rid, row in payload["rows"]}
+    assignments = {
+        int(rid): tuple(int(component) for component in components)
+        for rid, components in payload["deweys"]
+    }
+    live = set(assignments)
+
+    # ---- WAL replay on top (same seq/gap discipline as full recovery).
+    snapshot_epoch = int(payload.get("epoch", 0))
+    expected = snapshot_epoch
+    for record in scan.records:
+        seq, op, rid, dewey, row = parse_record(record, shard_dir)
+        if seq <= snapshot_epoch:
+            continue  # superseded by the snapshot (post-rename crash)
+        expected += 1
+        if seq != expected:
+            raise RecoveryError(
+                shard_dir,
+                f"WAL sequence gap: expected seq {expected}, found {seq}",
+            )
+        if op == "insert":
+            rows[rid] = row
+            assignments[rid] = dewey
+            live.add(rid)
+        else:  # remove
+            if rid not in live or assignments.get(rid) != dewey:
+                raise RecoveryError(
+                    shard_dir,
+                    f"remove record {seq} references rid {rid} with Dewey "
+                    f"{list(dewey)} not live in this shard",
+                )
+            live.discard(rid)
+            del assignments[rid]
+
+    # ---- Local dense-rid relation over the live rows (global-rid order).
+    try:
+        schema = Schema(
+            Attribute(name, AttributeKind(kind))
+            for name, kind in payload["schema"]
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise RecoveryError(data_dir, f"bad schema: {error}") from None
+    relation = Relation(schema, name=payload.get("name", "R"))
+    ordering = DiversityOrdering(payload["ordering"])
+    local_assignments = {}
+    for local_rid, global_rid in enumerate(sorted(live)):
+        relation.insert(rows[global_rid])
+        local_assignments[local_rid] = assignments[global_rid]
+    try:
+        dewey = restore_dewey(relation, ordering, local_assignments)
+    except SnapshotError as error:
+        raise RecoveryError(data_dir, str(error)) from error
+    index = InvertedIndex(
+        relation, ordering, backend=payload["backend"], dewey=dewey
+    )
+    for local_rid in range(len(relation)):
+        index.index_restored_row(local_rid)
+    index.restore_epoch(expected)
+    return index

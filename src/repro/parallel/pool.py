@@ -1,0 +1,416 @@
+"""Coordinator side of the process backend: dedicated per-shard workers.
+
+Design notes (measured, not guessed):
+
+* **Dedicated pipe workers, not an executor.**  A
+  ``ProcessPoolExecutor`` round-trip costs ~0.7 ms for a 4-way fan-out on
+  this codebase's payloads; a bare ``multiprocessing.Pipe`` to a
+  dedicated worker costs ~0.1 ms.  At benchmark scale the fan-out runs
+  per query, so the transport overhead is the difference between the
+  process backend paying for itself and losing to serial outright.
+* **Static shard ownership.**  Shards are assigned round-robin to
+  ``min(workers, num_shards)`` workers at build time.  Each worker keeps
+  its replicas hot for its whole life — no per-task replica lookup, no
+  cross-worker state.
+* **Epoch fencing, both sides.**  The pool records the per-shard epochs
+  it was built at; :meth:`ProcessShardPool.stale` compares them against
+  the live index so the engine rebuilds *before* fanning out after a
+  mutation.  Each request additionally carries the expected epoch so a
+  worker whose replica drifted anyway (the fork raced a mutation, the
+  disk state ran behind) answers ``stale`` rather than computing — the
+  coordinator never merges a candidate list from the wrong epoch.
+* **Failure containment.**  A dead worker marks the pool broken and
+  costs exactly its shards (reported ``crashed`` — the engine degrades
+  or fails per the gather contract); the next fan-out rebuilds.  Close
+  is idempotent, lock-serialised, and joins every worker (terminate
+  after a bounded grace), so "close returned" means "no children left".
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .worker import clear_fork_shards, set_fork_shards, worker_main
+
+#: Every accepted ``worker_mode``; "process" resolves to the platform's
+#: best process mode (fork where available, spawn otherwise).
+WORKER_MODES = ("thread", "process", "fork", "spawn")
+PROCESS_MODES = ("fork", "spawn")
+
+#: Per-shard fan-out statuses.
+OK = "ok"
+STALE = "stale"
+ERROR = "error"
+DEADLINE = "deadline"
+CRASHED = "crashed"
+
+#: Grace period for worker join before escalating to terminate.
+_JOIN_TIMEOUT_S = 5.0
+
+
+class UnsupportedWorkerModeError(ValueError):
+    """A worker-mode / deployment-feature combination that cannot work.
+
+    Raised eagerly (injection or pool-build time) instead of silently
+    bypassing the feature: process workers hold read-only replicas, so
+    coordinator-side machinery — chaos fault plans, replica-set failover
+    — would simply not exist on their execution path.
+    """
+
+
+def resolve_worker_mode(mode: str) -> str:
+    """Map a user-facing mode to a concrete one (``process`` -> platform)."""
+    if mode not in WORKER_MODES:
+        raise ValueError(
+            f"worker_mode must be one of {WORKER_MODES}, got {mode!r}"
+        )
+    if mode == "process":
+        return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    if mode in PROCESS_MODES and mode not in mp.get_all_start_methods():
+        raise UnsupportedWorkerModeError(
+            f"worker_mode={mode!r} is unavailable on this platform "
+            f"(start methods: {mp.get_all_start_methods()})"
+        )
+    return mode
+
+
+def _data_shard(shard, shard_id: int):
+    """Validate + unwrap one shard slot for process execution.
+
+    Replica sets and chaos proxies are coordinator-side wrappers a worker
+    replica cannot mirror — reject them loudly rather than serving reads
+    that silently skip failover/fault plans.  Durable wrappers unwrap to
+    their in-memory index (the WAL handle stays with the parent).
+    """
+    from ..replication.replica_set import ReplicaSet
+
+    if isinstance(shard, ReplicaSet):
+        raise UnsupportedWorkerModeError(
+            f"process workers cannot fan out over a replicated deployment: "
+            f"shard {shard_id} is a ReplicaSet, and replica failover/hedging "
+            f"is coordinator-side state that does not exist inside a worker "
+            f"process; use worker_mode='thread' with replicas > 1"
+        )
+    if getattr(shard, "chaos", None) is not None:
+        raise UnsupportedWorkerModeError(
+            f"process workers cannot honour an injected chaos policy: shard "
+            f"{shard_id} carries a fault plan the worker replicas would "
+            f"silently ignore; clear chaos or use worker_mode='thread'"
+        )
+    return shard
+
+
+class ProcessShardPool:
+    """``min(workers, num_shards)`` worker processes over private pipes."""
+
+    def __init__(self, index, workers: int, mode: str, registry=None):
+        if mode not in PROCESS_MODES:
+            raise ValueError(
+                f"ProcessShardPool mode must be one of {PROCESS_MODES}, "
+                f"got {mode!r} (resolve 'process' first)"
+            )
+        if workers < 1:
+            raise ValueError("process pool needs workers >= 1")
+        self._index = index
+        self._mode = mode
+        self._workers_requested = workers
+        self._registry = registry
+        self._lock = threading.RLock()
+        self._procs: List = []
+        self._conns: List = []
+        self._assignment: Dict[int, int] = {}
+        self._built_epochs: List[int] = []
+        self._broken = False
+        self._closed = False
+        self._request_counter = 0
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def width(self) -> int:
+        """Worker-process count (``min(workers, num_shards)`` at build)."""
+        return len(self._procs)
+
+    @property
+    def built_epochs(self) -> List[int]:
+        """Per-shard epochs the current workers were built at."""
+        return list(self._built_epochs)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        """True once any worker died or a pipe failed (rebuild pending)."""
+        return self._broken
+
+    def worker_of(self, shard_id: int) -> int:
+        return self._assignment[shard_id]
+
+    def worker_pids(self) -> List[Optional[int]]:
+        return [proc.pid for proc in self._procs]
+
+    def stale(self) -> bool:
+        """Does the pool need a rebuild before the next fan-out?"""
+        return (
+            self._broken
+            or self._built_epochs != list(self._index.shard_epochs())
+        )
+
+    def matches(self, workers: int, mode: str, num_shards: int) -> bool:
+        """Is this pool still the right shape for the engine's config?"""
+        return (
+            not self._closed
+            and self._workers_requested == workers
+            and self._mode == mode
+            and len(self._built_epochs) == num_shards
+        )
+
+    # ------------------------------------------------------------------
+    # Build / rebuild
+    # ------------------------------------------------------------------
+    def _spawn_data_dir(self, shards) -> Path:
+        """The deployment directory spawn workers bootstrap from.
+
+        Spawn workers start from a clean interpreter, so every shard must
+        be durably backed (a ``DurableIndex`` with a ``shard-NNNN``
+        snapshot dir); the shared parent of those dirs is the deployment
+        root the workers read.  WALs are synced first so the on-disk
+        state includes every acknowledged mutation.
+        """
+        roots = set()
+        for shard_id, shard in enumerate(shards):
+            snapshot_path = getattr(shard, "snapshot_path", None)
+            wal = getattr(shard, "wal", None)
+            if snapshot_path is None or wal is None:
+                raise UnsupportedWorkerModeError(
+                    f"worker_mode='spawn' bootstraps workers from per-shard "
+                    f"snapshot directories, but shard {shard_id} has no "
+                    f"durable store; create the deployment with a data_dir "
+                    f"(repro.durability) or use worker_mode='fork'/'thread'"
+                )
+            wal.sync()
+            roots.add(Path(snapshot_path).parent.parent)
+        if len(roots) != 1:
+            raise UnsupportedWorkerModeError(
+                f"shards live in {len(roots)} different deployment "
+                f"directories; spawn workers need a single data_dir"
+            )
+        return roots.pop()
+
+    def _build(self) -> None:
+        index = self._index
+        num_shards = index.num_shards
+        width = max(1, min(self._workers_requested, num_shards))
+        shards = [
+            _data_shard(shard, shard_id)
+            for shard_id, shard in enumerate(index.shards)
+        ]
+        data_dir: Optional[str] = None
+        if self._mode == "spawn":
+            data_dir = str(self._spawn_data_dir(shards))
+        context = mp.get_context(self._mode)
+        assignment = {
+            shard_id: shard_id % width for shard_id in range(num_shards)
+        }
+        owned = [
+            [sid for sid in range(num_shards) if assignment[sid] == slot]
+            for slot in range(width)
+        ]
+        if self._mode == "fork":
+            # Fork workers inherit the *in-memory* indexes (a durable
+            # shard's WAL handle stays with the parent — workers only
+            # read postings).
+            set_fork_shards({
+                shard_id: getattr(shard, "index", shard)
+                for shard_id, shard in enumerate(shards)
+            })
+        procs: List = []
+        conns: List = []
+        try:
+            for slot in range(width):
+                parent_conn, child_conn = context.Pipe()
+                proc = context.Process(
+                    target=worker_main,
+                    args=(child_conn, self._mode, owned[slot], data_dir),
+                    name=f"repro-shard-worker-{slot}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                procs.append(proc)
+                conns.append(parent_conn)
+        except BaseException:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                proc.terminate()
+                proc.join(timeout=_JOIN_TIMEOUT_S)
+            raise
+        finally:
+            if self._mode == "fork":
+                clear_fork_shards()
+        self._procs = procs
+        self._conns = conns
+        self._assignment = assignment
+        self._built_epochs = list(index.shard_epochs())
+        self._broken = False
+        if self._registry is not None:
+            self._registry.gauge(
+                "repro_parallel_workers",
+                "Live shard worker processes in the process pool",
+            ).set(float(width))
+
+    def rebuild(self, reason: str) -> None:
+        """Tear the workers down and re-bootstrap at the current epoch."""
+        with self._lock:
+            self._teardown()
+            self._closed = False
+            self._build()
+        if self._registry is not None:
+            self._registry.counter(
+                "repro_parallel_pool_rebuilds_total",
+                "Process-pool rebuilds, by trigger",
+                reason=reason,
+            ).inc()
+
+    # ------------------------------------------------------------------
+    # Fan-out
+    # ------------------------------------------------------------------
+    def fanout(
+        self,
+        query,
+        k: int,
+        algorithm: str,
+        scored: bool,
+        expected_epochs: List[int],
+        deadline=None,
+    ) -> Dict[int, Tuple[str, object, float]]:
+        """One request per shard; returns ``{shard_id: (status, value,
+        elapsed_ms)}`` with every shard present.
+
+        Serialised on the pool lock — one fan-out owns the pipes at a
+        time (concurrent batched serving should use thread mode).  On
+        deadline expiry the in-flight shards report ``deadline`` and
+        their late replies are discarded by request-id matching on the
+        next fan-out.  A dead pipe reports ``crashed`` for the worker's
+        shards and marks the pool broken (rebuilt on next use).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("process shard pool is closed")
+            self._request_counter += 1
+            request_id = self._request_counter
+            results: Dict[int, Tuple[str, object, float]] = {}
+            pending: Dict[int, set] = {slot: set() for slot in range(self.width)}
+            for shard_id, slot in self._assignment.items():
+                message = (
+                    request_id, shard_id, query, k, algorithm, scored,
+                    expected_epochs[shard_id],
+                )
+                try:
+                    self._conns[slot].send(message)
+                except (OSError, ValueError):
+                    self._broken = True
+                    results[shard_id] = (
+                        CRASHED, f"worker {slot} pipe closed", 0.0
+                    )
+                    continue
+                pending[slot].add(shard_id)
+            while any(pending.values()):
+                waiting = [
+                    self._conns[slot]
+                    for slot, outstanding in pending.items()
+                    if outstanding
+                ]
+                timeout = None
+                if deadline is not None:
+                    remaining_ms = deadline.remaining_ms()
+                    if remaining_ms != float("inf"):
+                        timeout = max(0.0, remaining_ms / 1000.0)
+                ready = mp.connection.wait(waiting, timeout=timeout)
+                if not ready:
+                    for slot, outstanding in pending.items():
+                        for shard_id in outstanding:
+                            results[shard_id] = (DEADLINE, None, 0.0)
+                        outstanding.clear()
+                    break
+                for conn in ready:
+                    slot = self._conns.index(conn)
+                    try:
+                        reply = conn.recv()
+                    except (EOFError, OSError):
+                        self._broken = True
+                        for shard_id in pending[slot]:
+                            results[shard_id] = (
+                                CRASHED, f"worker {slot} died", 0.0
+                            )
+                        pending[slot] = set()
+                        continue
+                    reply_request, shard_id, status, value, elapsed_ms = reply
+                    if reply_request != request_id:
+                        continue  # late answer from an abandoned fan-out
+                    pending[slot].discard(shard_id)
+                    results[shard_id] = (status, value, elapsed_ms)
+            return results
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut every worker down and join it; idempotent, thread-safe."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._teardown()
+        if self._registry is not None:
+            self._registry.gauge(
+                "repro_parallel_workers",
+                "Live shard worker processes in the process pool",
+            ).set(0.0)
+
+    def _teardown(self) -> None:
+        procs, self._procs = self._procs, []
+        conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.send(None)  # graceful shutdown sentinel
+            except (OSError, ValueError):
+                pass
+        for proc in procs:
+            proc.join(timeout=_JOIN_TIMEOUT_S)
+        for proc in procs:
+            if proc.is_alive():  # stuck mid-task: escalate
+                proc.terminate()
+                proc.join(timeout=_JOIN_TIMEOUT_S)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._assignment = {}
+        self._built_epochs = []
+
+    def __enter__(self) -> "ProcessShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("broken" if self._broken else "live")
+        return (
+            f"ProcessShardPool(mode={self._mode!r}, width={self.width}, "
+            f"shards={len(self._built_epochs)}, {state})"
+        )

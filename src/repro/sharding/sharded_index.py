@@ -110,6 +110,7 @@ class ShardedIndex:
         "_router",
         "_shards",
         "_route_position",
+        "_worker_budget",
         "__weakref__",  # metrics collectors hold the index weakly
     )
 
@@ -131,6 +132,7 @@ class ShardedIndex:
         self._dewey = DeweyIndex(relation, ordering)
         self._route_position = relation.schema.position(ordering.attributes[0])
         self._router = make_router(router, shards, self._route_values())
+        self._worker_budget = 0
         self._shards: List[InvertedIndex] = [
             InvertedIndex(relation, ordering, backend=backend, dewey=self._dewey)
             for _ in range(shards)
@@ -190,6 +192,7 @@ class ShardedIndex:
         index._dewey = dewey
         index._route_position = relation.schema.position(ordering.attributes[0])
         index._router = router
+        index._worker_budget = 0
         index._shards = list(shards)
         return index
 
@@ -260,6 +263,22 @@ class ShardedIndex:
             return first.num_replicas
         return 1
 
+    @property
+    def worker_budget(self) -> int:
+        """The owning engine's fan-out worker budget (0 = unset).
+
+        Published by :meth:`ShardedEngine._push_worker_budget` so replica
+        sets created by a later :meth:`replicate` size their hedge pools
+        from it instead of the standalone default.
+        """
+        return self._worker_budget
+
+    @worker_budget.setter
+    def worker_budget(self, budget: int) -> None:
+        if budget < 0:
+            raise ValueError("worker budget must be >= 0")
+        self._worker_budget = budget
+
     def replicate(
         self,
         count: int,
@@ -300,6 +319,15 @@ class ShardedIndex:
             )
             for shard_id, shard in enumerate(self._shards)
         ]
+        if self._worker_budget:
+            # Sets created after the engine published its budget pick the
+            # derived width up here; _push_worker_budget covers the other
+            # order (replicate first, engine construction after).
+            width = ReplicaSet.derive_pool_width(
+                count, self.num_shards, self._worker_budget
+            )
+            for replica_set in self._shards:
+                replica_set.set_pool_budget(width)
 
     @property
     def router(self) -> ShardRouter:
